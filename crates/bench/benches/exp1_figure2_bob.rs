@@ -1,0 +1,54 @@
+//! E1 — paper Figure 2: Bob's five-step experiment, plus the sharable
+//! claim: a rerun issues **zero** platform calls and reproduces the result
+//! bit-for-bit, at every scale.
+
+use reprowd_bench::{banner, label_objects, sim_context, table, timed};
+use reprowd_core::presenter::Presenter;
+use reprowd_platform::CrowdPlatform;
+
+fn main() {
+    banner(
+        "E1",
+        "Bob's experiment (label images, 3 assignments, majority vote)",
+        "Figure 2 + the 'sharable' requirement",
+    );
+    let mut rows = Vec::new();
+    for n in [3usize, 100, 1000] {
+        let (cc, platform) = sim_context(7, 0.9, 42);
+        let run = || {
+            cc.crowddata("bob")
+                .unwrap()
+                .data(label_objects(n, 0.1))
+                .unwrap()
+                .presenter(Presenter::image_label("Is this a cat?", &["Yes", "No"]))
+                .unwrap()
+                .publish(3)
+                .unwrap()
+                .collect()
+                .unwrap()
+                .majority_vote()
+                .unwrap()
+        };
+        let (first, fresh_ms) = timed(run);
+        let calls_fresh = platform.api_calls();
+        let (second, rerun_ms) = timed(run);
+        let calls_rerun = platform.api_calls() - calls_fresh;
+        let identical = first.column("mv").unwrap() == second.column("mv").unwrap()
+            && first.column("result").unwrap() == second.column("result").unwrap();
+        rows.push(vec![
+            n.to_string(),
+            calls_fresh.to_string(),
+            format!("{fresh_ms:.1}"),
+            calls_rerun.to_string(),
+            format!("{rerun_ms:.1}"),
+            identical.to_string(),
+        ]);
+        assert_eq!(calls_rerun, 0, "rerun must be platform-free");
+        assert!(identical, "rerun must reproduce exactly");
+    }
+    table(
+        &["images", "fresh api calls", "fresh ms", "rerun api calls", "rerun ms", "identical"],
+        &rows,
+    );
+    println!("\nPASS: reruns are free and bit-identical at every scale.");
+}

@@ -1,0 +1,65 @@
+//! E4 — the sharable claim under crashes: kill the client at k% of the
+//! publish/collect work, rerun, and verify (a) completion, (b) work
+//! conservation (each task published exactly once across crash + rerun),
+//! (c) rerun cost proportional to the remaining work only.
+
+use reprowd_bench::{banner, label_objects, table};
+use reprowd_core::context::CrowdContext;
+use reprowd_core::presenter::Presenter;
+use reprowd_platform::{CrowdPlatform, FailingPlatform, SimPlatform};
+use reprowd_storage::MemoryStore;
+use std::sync::Arc;
+
+const N_TASKS: usize = 200;
+
+fn run(cc: &CrowdContext) -> reprowd_core::Result<reprowd_core::CrowdData> {
+    cc.crowddata("crash")?
+        .data(label_objects(N_TASKS, 0.1))?
+        .presenter(Presenter::image_label("Q?", &["Yes", "No"]))?
+        .publish(3)?
+        .collect()?
+        .majority_vote()
+}
+
+fn main() {
+    banner("E4", "crash-and-rerun recovery cost", "'rerunning the program is as if it has never crashed'");
+    // A full run needs 1 project + 200 publishes + 200 fetches = 401 calls.
+    let full_calls = 401u64;
+    let mut rows = Vec::new();
+    for pct in [10u64, 25, 50, 75, 90] {
+        let budget = full_calls * pct / 100;
+        let inner = Arc::new(SimPlatform::quick(7, 0.9, pct));
+        let failing = Arc::new(FailingPlatform::new(Arc::clone(&inner), budget));
+        let cc = CrowdContext::new(
+            Arc::clone(&failing) as Arc<dyn CrowdPlatform>,
+            Arc::new(MemoryStore::new()),
+        )
+        .unwrap();
+        let crashed = run(&cc);
+        assert!(
+            crashed.as_ref().err().map(|e| e.is_injected_fault()).unwrap_or(false),
+            "crash at {pct}% must be the injected fault"
+        );
+        let calls_at_crash = inner.api_calls();
+
+        failing.reset_budget(u64::MAX);
+        let cd = run(&cc).unwrap();
+        let s = cd.run_stats();
+        let rerun_calls = inner.api_calls() - calls_at_crash;
+        assert_eq!(s.tasks_reused + s.tasks_published, N_TASKS as u64);
+        assert_eq!(inner.api_calls(), full_calls, "work conservation violated");
+        rows.push(vec![
+            format!("{pct}%"),
+            calls_at_crash.to_string(),
+            s.tasks_reused.to_string(),
+            s.tasks_published.to_string(),
+            rerun_calls.to_string(),
+            (s.tasks_reused + s.tasks_published).to_string(),
+        ]);
+    }
+    table(
+        &["crash at", "calls before crash", "rows reused", "rows published on rerun", "rerun calls", "total rows"],
+        &rows,
+    );
+    println!("\nPASS: total platform calls across crash+rerun always equal one clean run ({full_calls}).");
+}

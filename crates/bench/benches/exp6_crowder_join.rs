@@ -1,0 +1,67 @@
+//! E6 — CrowdER (Wang et al., PVLDB 2012): crowd cost vs result quality
+//! across the machine-pass similarity threshold, on a synthetic restaurant
+//! corpus. The shape to reproduce: lowering θ raises recall (and crowd
+//! cost); raising θ prunes cost but loses matches; precision stays high
+//! throughout because the crowd verifies every surviving pair.
+
+use reprowd_bench::{banner, sim_context, table};
+use reprowd_core::value::Value;
+use reprowd_datagen::{ErConfig, ErCorpus};
+use reprowd_operators::join::crowder::{crowder_join, CrowdErConfig};
+use reprowd_operators::pairwise_prf;
+
+fn main() {
+    banner("E6", "CrowdER hybrid join: cost/quality vs similarity threshold", "Wang et al. 2012 (re-implemented per the paper)");
+    let corpus = ErCorpus::generate(&ErConfig {
+        n_entities: 80,
+        min_dups: 1,
+        max_dups: 3,
+        seed: 606,
+        ..ErConfig::default()
+    });
+    let records = corpus.texts();
+    let truth = corpus.true_pairs();
+    let entities = corpus.truth_clusters();
+    let all_pairs = records.len() * (records.len() - 1) / 2;
+    println!(
+        "corpus: {} records, {} entities, {} true pairs, {} total pairs\n",
+        records.len(),
+        corpus.n_entities,
+        truth.len(),
+        all_pairs
+    );
+
+    let mut rows = Vec::new();
+    for (i, threshold) in [0.1f64, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]
+        .into_iter()
+        .enumerate()
+    {
+        let (cc, _) = sim_context(7, 0.95, 66);
+        let ents = entities.clone();
+        let decorate = move |a: usize, b: usize, obj: &mut Value| {
+            obj["_sim"] = serde_json::json!({
+                "kind": "match",
+                "is_match": ents[a] == ents[b],
+                "ambiguity": 0.1,
+            });
+        };
+        let mut cfg = CrowdErConfig::new(&format!("er-{i}"));
+        cfg.threshold = threshold;
+        let out = crowder_join(&cc, &records, &cfg, decorate).unwrap();
+        let (p, r, f1) = pairwise_prf(&out.matched, &truth);
+        rows.push(vec![
+            format!("{threshold:.1}"),
+            out.candidates.len().to_string(),
+            out.stats.tasks_published.to_string(),
+            format!("{:.2}%", 100.0 * out.candidates.len() as f64 / all_pairs as f64),
+            format!("{p:.3}"),
+            format!("{r:.3}"),
+            format!("{f1:.3}"),
+        ]);
+    }
+    table(
+        &["θ", "candidate pairs", "crowd tasks", "of all pairs", "precision", "recall", "F1"],
+        &rows,
+    );
+    println!("\nShape: cost falls monotonically with θ; recall decays past the noise level;\nprecision stays near 1 because the crowd screens every candidate.");
+}

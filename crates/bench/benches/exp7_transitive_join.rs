@@ -1,0 +1,111 @@
+//! E7 — transitive joins (Wang et al., SIGMOD 2013): questions saved by
+//! transitivity vs CrowdER, the effect of pair ordering, and error
+//! propagation as worker quality degrades.
+
+use reprowd_bench::{banner, sim_context, table};
+use reprowd_core::value::Value;
+use reprowd_datagen::{ErConfig, ErCorpus};
+use reprowd_operators::join::crowder::{crowder_join, CrowdErConfig};
+use reprowd_operators::join::transitive::{transitive_join, PairOrdering, TransitiveConfig};
+use reprowd_operators::pairwise_prf;
+
+fn decorate_for(
+    entities: Vec<usize>,
+    ambiguity: f64,
+) -> impl Fn(usize, usize, &mut Value) {
+    move |a, b, obj: &mut Value| {
+        obj["_sim"] = serde_json::json!({
+            "kind": "match",
+            "is_match": entities[a] == entities[b],
+            "ambiguity": ambiguity,
+        });
+    }
+}
+
+fn main() {
+    banner("E7", "transitive joins: savings, ordering, error propagation", "Wang et al. 2013 (re-implemented per the paper)");
+    // Large clusters = lots of transitivity to exploit.
+    let corpus = ErCorpus::generate(&ErConfig {
+        n_entities: 25,
+        min_dups: 3,
+        max_dups: 6,
+        seed: 707,
+        ..ErConfig::default()
+    });
+    let records = corpus.texts();
+    let truth = corpus.true_pairs();
+    let entities = corpus.truth_clusters();
+    println!("corpus: {} records in {} entities ({} true pairs)\n", records.len(), corpus.n_entities, truth.len());
+
+    // --- Part 1: savings vs CrowdER, per ordering.
+    let (cc, _) = sim_context(9, 0.97, 77);
+    let mut ccfg = CrowdErConfig::new("er-base");
+    ccfg.threshold = 0.4;
+    let base = crowder_join(&cc, &records, &ccfg, decorate_for(entities.clone(), 0.05)).unwrap();
+    let (_, _, f1_base) = pairwise_prf(&base.matched, &truth);
+
+    let mut rows = vec![vec![
+        "CrowdER (asks all candidates)".to_string(),
+        base.crowd_reviewed.len().to_string(),
+        "0".into(),
+        "0".into(),
+        "-".into(),
+        format!("{f1_base:.3}"),
+    ]];
+    for (name, ordering) in [
+        ("transitive, similarity desc", PairOrdering::SimilarityDesc),
+        ("transitive, random", PairOrdering::Random(7)),
+        ("transitive, similarity asc", PairOrdering::SimilarityAsc),
+    ] {
+        let (cc, _) = sim_context(9, 0.97, 77);
+        let mut cfg = TransitiveConfig::new(&format!("tj-{name}"));
+        cfg.threshold = 0.4;
+        cfg.ordering = ordering;
+        let out =
+            transitive_join(&cc, &records, &cfg, decorate_for(entities.clone(), 0.05)).unwrap();
+        let (_, _, f1) = pairwise_prf(&out.matched, &truth);
+        let saved = 100.0 * (1.0 - out.asked.len() as f64 / out.candidates.len().max(1) as f64);
+        rows.push(vec![
+            name.to_string(),
+            out.asked.len().to_string(),
+            out.deduced_positive.to_string(),
+            out.deduced_negative.to_string(),
+            format!("{saved:.1}%"),
+            format!("{f1:.3}"),
+        ]);
+    }
+    table(
+        &["strategy", "questions asked", "deduced +", "deduced -", "saved", "F1"],
+        &rows,
+    );
+
+    // --- Part 2: error propagation — one wrong early answer poisons
+    // deductions; measure F1 as pair ambiguity rises.
+    println!("\nerror propagation (similarity-desc ordering):");
+    let mut rows = Vec::new();
+    for ambiguity in [0.0f64, 0.2, 0.4, 0.6] {
+        let (cc, _) = sim_context(9, 0.9, 78);
+        let mut cfg = TransitiveConfig::new(&format!("tj-amb-{}", (ambiguity * 10.0) as u32));
+        cfg.threshold = 0.4;
+        let out =
+            transitive_join(&cc, &records, &cfg, decorate_for(entities.clone(), ambiguity))
+                .unwrap();
+        let (p, r, f1) = pairwise_prf(&out.matched, &truth);
+
+        let (cc2, _) = sim_context(9, 0.9, 78);
+        let mut ccfg = CrowdErConfig::new(&format!("er-amb-{}", (ambiguity * 10.0) as u32));
+        ccfg.threshold = 0.4;
+        let er = crowder_join(&cc2, &records, &ccfg, decorate_for(entities.clone(), ambiguity))
+            .unwrap();
+        let (_, _, f1_er) = pairwise_prf(&er.matched, &truth);
+        rows.push(vec![
+            format!("{ambiguity:.1}"),
+            format!("{p:.3}"),
+            format!("{r:.3}"),
+            format!("{f1:.3}"),
+            format!("{f1_er:.3}"),
+        ]);
+    }
+    table(&["pair ambiguity", "precision", "recall", "transitive F1", "CrowdER F1"], &rows);
+    println!("\nShape: transitivity saves a large share of questions (best with\nsimilarity-descending order) and degrades slightly faster than CrowdER as\nworker error rises, because deduced labels inherit mistakes.");
+}

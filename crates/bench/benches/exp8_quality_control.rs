@@ -1,0 +1,80 @@
+//! E8 — quality control, SQUARE-style (Sheshadri & Lease 2013, cited by the
+//! paper): MV vs weighted MV (gold-calibrated) vs one-coin EM vs
+//! Dawid–Skene, across redundancy levels and worker-pool mixes.
+
+use reprowd_bench::{banner, label_objects, pool_context, table};
+use reprowd_core::presenter::Presenter;
+use reprowd_platform::WorkerPool;
+use reprowd_quality::{
+    majority_vote_matrix, weighted_majority_vote_matrix, DawidSkene, DsConfig, GoldCalibration,
+    OneCoin, OneCoinConfig, TiePolicy,
+};
+
+const N_ITEMS: usize = 300;
+
+fn accuracy(labels: &[Option<usize>], space_yes_first: bool) -> f64 {
+    // truth[i] = i % 2 where label 0 = "Yes" (index 0) when space_yes_first.
+    let correct = labels
+        .iter()
+        .enumerate()
+        .filter(|(i, l)| {
+            let truth = i % 2;
+            let truth_idx = if space_yes_first { truth } else { 1 - truth };
+            **l == Some(truth_idx)
+        })
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+fn main() {
+    banner("E8", "label aggregation: accuracy vs redundancy and worker mix", "SQUARE-style benchmark (Sheshadri & Lease 2013, cited)");
+    let pools: Vec<(&str, WorkerPool)> = vec![
+        ("9 average workers", WorkerPool::mixture(0, 9, 0, 1)),
+        ("3 experts + 6 spammers", WorkerPool::mixture(3, 0, 6, 2)),
+        ("2 good + 7 yes-biased", WorkerPool::uniform(2, 0.9).with_biased(7, 0, 0.75, 0.7)),
+    ];
+
+    let mut rows = Vec::new();
+    for (pool_name, pool) in pools {
+        for redundancy in [1u32, 3, 5, 7, 9] {
+            let (cc, _) = pool_context(pool.clone(), redundancy as u64 * 31);
+            let cd = cc
+                .crowddata("qc")
+                .unwrap()
+                .data(label_objects(N_ITEMS, 0.25))
+                .unwrap()
+                .presenter(Presenter::image_label("Q?", &["Yes", "No"]))
+                .unwrap()
+                .publish(redundancy)
+                .unwrap()
+                .collect()
+                .unwrap();
+            let (matrix, _space) = cd.vote_matrix().unwrap();
+
+            let mv = majority_vote_matrix(&matrix, TiePolicy::LowestLabel);
+            let em = OneCoin::fit(&matrix, &OneCoinConfig::default()).labels(&matrix);
+            let ds = DawidSkene::fit(&matrix, &DsConfig::default()).labels(&matrix);
+            // Gold-calibrated weighted MV: first 10% of items are gold.
+            let gold: std::collections::HashMap<usize, usize> =
+                (0..N_ITEMS / 10).map(|i| (i, i % 2)).collect();
+            let cal = GoldCalibration::from_gold(&matrix, &gold, 1.0);
+            let wmv = weighted_majority_vote_matrix(
+                &matrix,
+                &cal.log_odds_weights(),
+                0.0,
+                TiePolicy::LowestLabel,
+            );
+
+            rows.push(vec![
+                pool_name.to_string(),
+                redundancy.to_string(),
+                format!("{:.3}", accuracy(&mv, true)),
+                format!("{:.3}", accuracy(&wmv, true)),
+                format!("{:.3}", accuracy(&em, true)),
+                format!("{:.3}", accuracy(&ds, true)),
+            ]);
+        }
+    }
+    table(&["worker pool", "redundancy", "MV", "gold-WMV", "one-coin EM", "Dawid-Skene"], &rows);
+    println!("\nShape: with homogeneous honest workers all methods converge as redundancy\ngrows; spammer-heavy and biased pools separate the methods — EM/DS recover\naccuracy that MV cannot, and gold calibration rescues weighted MV.");
+}

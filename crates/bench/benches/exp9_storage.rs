@@ -1,0 +1,100 @@
+//! E9 — the storage substrate: recovery time vs log size, the cost of
+//! durability (fsync policy), and compaction gains. These are the numbers
+//! behind the fault-recovery guarantee the paper delegates to SQLite.
+
+use reprowd_bench::{banner, table, timed};
+use reprowd_storage::{Backend, DiskStore, SyncPolicy};
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("reprowd-exp9-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.join(name);
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+fn main() {
+    banner("E9", "storage engine: recovery, durability cost, compaction", "the 'stored persistently in a database' substrate");
+
+    // --- recovery time vs record count
+    println!("log replay (crash recovery) speed:");
+    let mut rows = Vec::new();
+    for n in [10_000u64, 50_000, 200_000] {
+        let path = tmp(&format!("recovery-{n}.rwlog"));
+        {
+            let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+            for i in 0..n {
+                store
+                    .set(format!("task/{i:08}").as_bytes(), format!("{{\"answer\":{i}}}").as_bytes())
+                    .unwrap();
+            }
+            store.flush().unwrap();
+        }
+        let ((), ms) = timed(|| {
+            let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+            assert_eq!(store.stats().live_keys as u64, n);
+        });
+        let bytes = std::fs::metadata(&path).unwrap().len();
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.1}", bytes as f64 / 1e6),
+            format!("{ms:.1}"),
+            format!("{:.0}k", n as f64 / ms),
+        ]);
+    }
+    table(&["records", "log MB", "replay ms", "records/ms"], &rows);
+
+    // --- durability cost
+    println!("\ndurability (fsync policy) cost, 2000 single-key writes:");
+    let mut rows = Vec::new();
+    for (name, policy, n) in [
+        ("Never", SyncPolicy::Never, 2000u64),
+        ("EveryN(64)", SyncPolicy::EveryN(64), 2000),
+        ("Always", SyncPolicy::Always, 200), // fsync-per-write is slow; scale down
+    ] {
+        let path = tmp(&format!("sync-{name}.rwlog"));
+        let store = DiskStore::open(&path, policy).unwrap();
+        let ((), ms) = timed(|| {
+            for i in 0..n {
+                store.set(format!("k{i}").as_bytes(), b"v").unwrap();
+            }
+        });
+        rows.push(vec![
+            name.to_string(),
+            n.to_string(),
+            format!("{ms:.1}"),
+            format!("{:.0}", n as f64 / (ms / 1e3)),
+        ]);
+    }
+    table(&["policy", "writes", "wall ms", "writes/sec"], &rows);
+
+    // --- compaction
+    println!("\ncompaction (20 overwrite rounds of 5k keys):");
+    let path = tmp("compact.rwlog");
+    let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+    for round in 0..20 {
+        for i in 0..5_000 {
+            store.set(format!("key/{i}").as_bytes(), format!("round-{round}").as_bytes()).unwrap();
+        }
+    }
+    let before = store.stats();
+    let (saved, ms) = timed(|| store.compact().unwrap());
+    let after = store.stats();
+    table(
+        &["", "log MB", "garbage ratio"],
+        &[
+            vec![
+                "before".into(),
+                format!("{:.1}", before.log_bytes as f64 / 1e6),
+                format!("{:.2}", before.garbage_ratio),
+            ],
+            vec![
+                "after".into(),
+                format!("{:.1}", after.log_bytes as f64 / 1e6),
+                format!("{:.2}", after.garbage_ratio),
+            ],
+        ],
+    );
+    println!("compaction reclaimed {:.1} MB in {ms:.1} ms", saved as f64 / 1e6);
+}

@@ -1,0 +1,44 @@
+//! Criterion micro-benchmarks of the label aggregators: majority vote vs
+//! the EM family on a 1000-item × 7-worker vote matrix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reprowd_quality::{
+    majority_vote_matrix, DawidSkene, DsConfig, OneCoin, OneCoinConfig, TiePolicy, VoteMatrix,
+};
+
+fn matrix(n_items: usize, n_workers: u64) -> VoteMatrix {
+    let mut m = VoteMatrix::new(2, n_items);
+    for w in 1..=n_workers {
+        for i in 0..n_items {
+            // Deterministic pseudo-noise.
+            let mut z = (w << 32) ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z ^= z >> 31;
+            let truth = i % 2;
+            let label = if z % 100 < 20 { 1 - truth } else { truth };
+            m.push_vote(i, w, label);
+        }
+    }
+    m
+}
+
+fn bench_quality(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quality");
+    g.sample_size(20);
+    let m = matrix(1000, 7);
+
+    g.bench_function("majority_vote_1000x7", |b| {
+        b.iter(|| std::hint::black_box(majority_vote_matrix(&m, TiePolicy::LowestLabel)));
+    });
+    g.bench_function("onecoin_em_1000x7", |b| {
+        b.iter(|| std::hint::black_box(OneCoin::fit(&m, &OneCoinConfig::default())));
+    });
+    g.bench_function("dawid_skene_1000x7", |b| {
+        b.iter(|| std::hint::black_box(DawidSkene::fit(&m, &DsConfig::default())));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_quality);
+criterion_main!(benches);

@@ -1,0 +1,156 @@
+//! CrowdContext — "the main entry point for Reprowd functionality"
+//! (paper Figure 1): a crowdsourcing platform + a database, shared by every
+//! CrowdData experiment of a session.
+
+use crate::crowddata::CrowdData;
+use crate::error::{Error, Result};
+use crate::store::{ExperimentStore, Manifest};
+use reprowd_platform::{CrowdPlatform, SimPlatform};
+use reprowd_storage::{Backend, DiskStore, MemoryStore, SyncPolicy};
+use std::path::Path;
+use std::sync::Arc;
+
+/// The session object: platform + database + the experiment tables.
+///
+/// Cloning is cheap (all `Arc`s); a context can be shared across operator
+/// pipelines and threads.
+#[derive(Clone)]
+pub struct CrowdContext {
+    platform: Arc<dyn CrowdPlatform>,
+    backend: Arc<dyn Backend>,
+    store: Arc<ExperimentStore>,
+}
+
+impl CrowdContext {
+    /// Builds a context from an arbitrary platform and database backend.
+    pub fn new(platform: Arc<dyn CrowdPlatform>, backend: Arc<dyn Backend>) -> Result<Self> {
+        let store = Arc::new(ExperimentStore::open(Arc::clone(&backend))?);
+        Ok(CrowdContext { platform, backend, store })
+    }
+
+    /// A context over a simulated crowd (5 workers, ability 0.85) and an
+    /// in-memory database. The quickest way to try the system out.
+    pub fn in_memory_sim(seed: u64) -> Self {
+        let platform = Arc::new(SimPlatform::quick(5, 0.85, seed));
+        let backend: Arc<dyn Backend> = Arc::new(MemoryStore::new());
+        CrowdContext::new(platform, backend).expect("in-memory context construction")
+    }
+
+    /// A context over the given platform and a durable on-disk database —
+    /// the file you would share with another researcher.
+    pub fn on_disk(
+        platform: Arc<dyn CrowdPlatform>,
+        db_path: impl AsRef<Path>,
+        sync: SyncPolicy,
+    ) -> Result<Self> {
+        let backend: Arc<dyn Backend> = Arc::new(DiskStore::open(db_path, sync)?);
+        CrowdContext::new(platform, backend)
+    }
+
+    /// Starts (or resumes) the experiment called `name`.
+    ///
+    /// If the database already holds a manifest for `name` — because the
+    /// program ran before, crashed before, or the file came from another
+    /// researcher — the CrowdData resumes from it; the subsequent
+    /// `data`/`publish`/`collect` calls will then reuse every cached cell.
+    pub fn crowddata(&self, name: &str) -> Result<CrowdData> {
+        if name.is_empty() || name.contains('/') {
+            return Err(Error::State(format!(
+                "experiment name {name:?} must be non-empty and must not contain '/'"
+            )));
+        }
+        let manifest = match self.store.manifests.get(name.as_bytes())? {
+            Some(m) => m,
+            None => {
+                let m = Manifest::new(name);
+                self.store.manifests.put(name.as_bytes(), &m)?;
+                m
+            }
+        };
+        Ok(CrowdData::resume(self.clone(), manifest))
+    }
+
+    /// Names of every experiment stored in this database.
+    pub fn experiments(&self) -> Result<Vec<String>> {
+        Ok(self
+            .store
+            .manifests
+            .scan()?
+            .into_iter()
+            .map(|(_, m)| m.name)
+            .collect())
+    }
+
+    /// Deletes an experiment: its manifest and every cached task/result.
+    /// The platform-side project (if any) is left as-is, like the original
+    /// system (PyBossa projects outlive local state).
+    pub fn delete_experiment(&self, name: &str) -> Result<()> {
+        let Some(manifest) = self.store.manifests.get(name.as_bytes())? else {
+            return Ok(());
+        };
+        if let Some(fp) = &manifest.presenter_fingerprint {
+            // scan_prefix returns full row keys (within the table), so they
+            // can be removed directly.
+            let prefix = ExperimentStore::prefix(name, fp);
+            for (key, _) in self.store.tasks.scan_prefix(prefix.as_bytes())? {
+                self.store.tasks.remove(&key)?;
+            }
+            for (key, _) in self.store.results.scan_prefix(prefix.as_bytes())? {
+                self.store.results.remove(&key)?;
+            }
+        }
+        self.store.manifests.remove(name.as_bytes())?;
+        Ok(())
+    }
+
+    /// The platform this context publishes to.
+    pub fn platform(&self) -> &Arc<dyn CrowdPlatform> {
+        &self.platform
+    }
+
+    /// The raw database backend (snapshots, stats).
+    pub fn backend(&self) -> &Arc<dyn Backend> {
+        &self.backend
+    }
+
+    /// The experiment tables.
+    pub(crate) fn store(&self) -> &ExperimentStore {
+        &self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_lifecycle() {
+        let cc = CrowdContext::in_memory_sim(1);
+        assert!(cc.experiments().unwrap().is_empty());
+        let _cd = cc.crowddata("exp-a").unwrap();
+        let _cd = cc.crowddata("exp-b").unwrap();
+        let mut names = cc.experiments().unwrap();
+        names.sort();
+        assert_eq!(names, vec!["exp-a", "exp-b"]);
+        cc.delete_experiment("exp-a").unwrap();
+        assert_eq!(cc.experiments().unwrap(), vec!["exp-b"]);
+        // Deleting a non-existent experiment is fine.
+        cc.delete_experiment("ghost").unwrap();
+    }
+
+    #[test]
+    fn invalid_names_rejected() {
+        let cc = CrowdContext::in_memory_sim(1);
+        assert!(cc.crowddata("").is_err());
+        assert!(cc.crowddata("a/b").is_err());
+    }
+
+    #[test]
+    fn reopening_is_resume_not_reset() {
+        let cc = CrowdContext::in_memory_sim(1);
+        let _ = cc.crowddata("exp").unwrap();
+        // Same name twice: still one experiment.
+        let _ = cc.crowddata("exp").unwrap();
+        assert_eq!(cc.experiments().unwrap().len(), 1);
+    }
+}

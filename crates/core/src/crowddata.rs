@@ -1,0 +1,919 @@
+//! CrowdData — the paper's central abstraction.
+//!
+//! "A key insight in designing Reprowd is to model a list of steps for
+//! doing a crowdsourcing experiment as a sequence of manipulations of a
+//! tabular dataset called CrowdData." Each step appends a column:
+//!
+//! | step | call | column | persisted? |
+//! |------|------|--------|------------|
+//! | 1. input data        | [`data`](CrowdData::data)             | `object` | no (recomputable) |
+//! | 2. choose UI         | [`presenter`](CrowdData::presenter)   | —        | fingerprint in manifest |
+//! | 3. publish tasks     | [`publish`](CrowdData::publish)       | `task`   | **yes** |
+//! | 4. get results       | [`collect`](CrowdData::collect)       | `result` | **yes** |
+//! | 5. quality control   | [`majority_vote`](CrowdData::majority_vote) etc. | `mv`/`em`/`ds` | no (recomputed) |
+//!
+//! The persisted columns are keyed by *content* — experiment name,
+//! presenter fingerprint, row object hash — so any rerun (same machine
+//! after a crash, or another researcher with the shared database file)
+//! reuses exactly the still-valid crowd work and issues platform calls only
+//! for genuinely new rows. [`RunStats`] exposes the reuse accounting the
+//! experiments report.
+
+use crate::context::CrowdContext;
+use crate::error::{Error, Result};
+use crate::hash::{hash_value, hex};
+use crate::presenter::{Presenter, PresenterKind};
+use crate::store::{ExperimentStore, Manifest, StoredResult, StoredTask};
+use crate::value::{canonical, Value};
+use reprowd_platform::types::{TaskId, TaskSpec};
+use reprowd_quality::{
+    majority_vote_matrix, weighted_majority_vote_matrix, DawidSkene, DsConfig, OneCoin,
+    OneCoinConfig, TiePolicy, VoteMatrix, WorkerId,
+};
+use std::collections::{BTreeMap, HashMap};
+
+/// One row of a CrowdData table.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Position in the table.
+    pub index: usize,
+    /// Content hash of the object (hex), suffixed `-k` for the k-th
+    /// duplicate occurrence. The row part of the cache key.
+    pub hash: String,
+    /// The input object (paper: the `object` column).
+    pub object: Value,
+    /// The published task, once step 3 ran for this row.
+    pub task: Option<StoredTask>,
+    /// The collected runs, once step 4 ran for this row.
+    pub result: Option<StoredResult>,
+    /// Derived (recomputed, non-persisted) cells by column name.
+    pub derived: BTreeMap<String, Value>,
+}
+
+/// Cache-reuse accounting for the current CrowdData instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Tasks actually published to the platform by this instance.
+    pub tasks_published: u64,
+    /// Rows whose task cell came from the database.
+    pub tasks_reused: u64,
+    /// Result cells fetched from the platform by this instance.
+    pub results_collected: u64,
+    /// Rows whose result cell came from the database.
+    pub results_reused: u64,
+    /// Tasks re-published because the platform lost them (fresh platform
+    /// instance after a crash of the *platform*, not the client).
+    pub tasks_republished: u64,
+}
+
+/// The tabular experiment. See the module docs for the step/column mapping.
+pub struct CrowdData {
+    ctx: CrowdContext,
+    manifest: Manifest,
+    rows: Vec<Row>,
+    /// Whether `data`/`extend_data` ran (an *empty* dataset is legal and
+    /// distinct from "step 1 never happened").
+    data_set: bool,
+    presenter: Option<Presenter>,
+    n_assignments: Option<u32>,
+    stats: RunStats,
+}
+
+impl CrowdData {
+    /// Resumes (or starts) an experiment from its manifest. Internal — use
+    /// [`CrowdContext::crowddata`].
+    pub(crate) fn resume(ctx: CrowdContext, manifest: Manifest) -> Self {
+        CrowdData {
+            ctx,
+            manifest,
+            rows: Vec::new(),
+            data_set: false,
+            presenter: None,
+            n_assignments: None,
+            stats: RunStats::default(),
+        }
+    }
+
+    // ---------------------------------------------------------- step 1
+
+    /// Step 1: sets the input objects. Replaces any previously set rows.
+    ///
+    /// Duplicate objects are legal; each occurrence becomes its own row
+    /// (and its own task) with a stable `-k` suffix on the content hash.
+    pub fn data(mut self, objects: Vec<Value>) -> Result<Self> {
+        self.rows = Self::rows_from_objects(objects);
+        self.data_set = true;
+        Ok(self)
+    }
+
+    /// Appends objects to the existing rows (Ally's Figure 3 move: extend
+    /// the experiment; only the new rows will be crowdsourced).
+    pub fn extend_data(mut self, objects: Vec<Value>) -> Result<Self> {
+        self.data_set = true;
+        let mut occurrences: HashMap<u64, usize> = HashMap::new();
+        for row in &self.rows {
+            let h = hash_value(&row.object);
+            *occurrences.entry(h).or_insert(0) += 1;
+        }
+        for object in objects {
+            let h = hash_value(&object);
+            let occ = occurrences.entry(h).or_insert(0);
+            let hash = if *occ == 0 { hex(h) } else { format!("{}-{}", hex(h), *occ) };
+            *occ += 1;
+            self.rows.push(Row {
+                index: self.rows.len(),
+                hash,
+                object,
+                task: None,
+                result: None,
+                derived: BTreeMap::new(),
+            });
+        }
+        Ok(self)
+    }
+
+    fn rows_from_objects(objects: Vec<Value>) -> Vec<Row> {
+        let mut occurrences: HashMap<u64, usize> = HashMap::new();
+        objects
+            .into_iter()
+            .enumerate()
+            .map(|(index, object)| {
+                let h = hash_value(&object);
+                let occ = occurrences.entry(h).or_insert(0);
+                let hash = if *occ == 0 { hex(h) } else { format!("{}-{}", hex(h), *occ) };
+                *occ += 1;
+                Row { index, hash, object, task: None, result: None, derived: BTreeMap::new() }
+            })
+            .collect()
+    }
+
+    // ---------------------------------------------------------- step 2
+
+    /// Step 2: chooses the task UI. The presenter's fingerprint becomes
+    /// part of every cache key: changing the question or the label set
+    /// invalidates exactly the cells collected under the old UI.
+    pub fn presenter(mut self, presenter: Presenter) -> Result<Self> {
+        let fp = presenter.fingerprint();
+        if self.manifest.presenter_fingerprint.as_deref() != Some(fp.as_str()) {
+            self.manifest.presenter_fingerprint = Some(fp);
+            self.save_manifest()?;
+        }
+        self.presenter = Some(presenter);
+        Ok(self)
+    }
+
+    // ---------------------------------------------------------- step 3
+
+    /// Step 3: publishes one task per row that does not already have a
+    /// cached task cell, each asking for `n_assignments` distinct workers.
+    ///
+    /// Crash safety: each accepted task is persisted before the next is
+    /// published, so a crash mid-loop loses at most the task in flight.
+    /// (If the process dies between platform accept and the local write,
+    /// the rerun publishes a duplicate task — the same exposure the
+    /// original system has against PyBossa; the stale task is simply never
+    /// collected.)
+    pub fn publish(mut self, n_assignments: u32) -> Result<Self> {
+        if !self.data_set {
+            return Err(Error::State("publish before data: call data(...) first".into()));
+        }
+        let presenter = self
+            .presenter
+            .clone()
+            .ok_or_else(|| Error::State("publish before presenter: choose a UI first".into()))?;
+        if n_assignments == 0 {
+            return Err(Error::State("n_assignments must be positive".into()));
+        }
+        let fp = presenter.fingerprint();
+        if self.n_assignments.is_none() {
+            self.n_assignments = Some(n_assignments);
+        }
+        if self.manifest.n_assignments != Some(n_assignments) {
+            self.manifest.n_assignments = Some(n_assignments);
+            self.save_manifest()?;
+        }
+
+        let mut project: Option<u64> = None;
+        for i in 0..self.rows.len() {
+            if self.rows[i].task.is_some() {
+                continue;
+            }
+            let key = ExperimentStore::row_key(&self.manifest.name, &fp, &self.rows[i].hash);
+            if let Some(cached) = self.ctx.store().tasks.get(key.as_bytes())? {
+                self.rows[i].task = Some(cached);
+                self.stats.tasks_reused += 1;
+                continue;
+            }
+            // Cache miss: this row genuinely needs the crowd.
+            let pid = match project {
+                Some(pid) => pid,
+                None => {
+                    let pid = self.ensure_project(&presenter)?;
+                    project = Some(pid);
+                    pid
+                }
+            };
+            let payload = presenter.render(&self.rows[i].object);
+            let task =
+                self.ctx.platform().publish_task(pid, TaskSpec { payload, n_assignments })?;
+            let stored =
+                StoredTask { task, object: self.rows[i].object.clone(), n_assignments };
+            self.ctx.store().tasks.put(key.as_bytes(), &stored)?;
+            self.rows[i].task = Some(stored);
+            self.stats.tasks_published += 1;
+        }
+        Ok(self)
+    }
+
+    fn ensure_project(&mut self, presenter: &Presenter) -> Result<u64> {
+        if let Some(pid) = self.manifest.project_id {
+            if self.ctx.platform().project(pid).is_ok() {
+                return Ok(pid);
+            }
+        }
+        let pid = self
+            .ctx
+            .platform()
+            .create_project(&format!("{}:{}", self.manifest.name, presenter.name))?;
+        self.manifest.project_id = Some(pid);
+        self.save_manifest()?;
+        Ok(pid)
+    }
+
+    // ---------------------------------------------------------- step 4
+
+    /// Step 4: collects results. Rows with a cached result cell are served
+    /// from the database (zero platform traffic); for the rest, the
+    /// platform is driven until their tasks complete and the runs are
+    /// persisted.
+    ///
+    /// If the platform no longer knows a published task (the platform
+    /// itself restarted — distinct from a client crash), the task is
+    /// transparently re-published and counted in
+    /// [`RunStats::tasks_republished`].
+    pub fn collect(mut self) -> Result<Self> {
+        let presenter = self
+            .presenter
+            .clone()
+            .ok_or_else(|| Error::State("collect before presenter".into()))?;
+        let fp = presenter.fingerprint();
+        let mut pending: Vec<(usize, TaskId)> = Vec::new();
+        for i in 0..self.rows.len() {
+            if self.rows[i].result.is_some() {
+                continue;
+            }
+            let key = ExperimentStore::row_key(&self.manifest.name, &fp, &self.rows[i].hash);
+            if let Some(cached) = self.ctx.store().results.get(key.as_bytes())? {
+                self.rows[i].result = Some(cached);
+                self.stats.results_reused += 1;
+                continue;
+            }
+            let Some(stored) = self.rows[i].task.clone() else {
+                return Err(Error::State(format!(
+                    "collect before publish: row {i} has no task"
+                )));
+            };
+            // Verify the platform still knows the task; republish if not.
+            match self.ctx.platform().is_complete(stored.task.id) {
+                Ok(_) => pending.push((i, stored.task.id)),
+                Err(reprowd_platform::Error::UnknownTask(_)) => {
+                    let pid = self.ensure_project(&presenter)?;
+                    let payload = presenter.render(&self.rows[i].object);
+                    let task = self.ctx.platform().publish_task(
+                        pid,
+                        TaskSpec { payload, n_assignments: stored.n_assignments },
+                    )?;
+                    let restored = StoredTask {
+                        task,
+                        object: self.rows[i].object.clone(),
+                        n_assignments: stored.n_assignments,
+                    };
+                    self.ctx.store().tasks.put(key.as_bytes(), &restored)?;
+                    let id = restored.task.id;
+                    self.rows[i].task = Some(restored);
+                    self.stats.tasks_republished += 1;
+                    pending.push((i, id));
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        if pending.is_empty() {
+            return Ok(self);
+        }
+        let ids: Vec<TaskId> = pending.iter().map(|&(_, id)| id).collect();
+        self.ctx.platform().run_until_complete(&ids)?;
+        for (i, id) in pending {
+            let runs = self.ctx.platform().fetch_runs(id)?;
+            let key = ExperimentStore::row_key(&self.manifest.name, &fp, &self.rows[i].hash);
+            let stored = StoredResult { runs };
+            self.ctx.store().results.put(key.as_bytes(), &stored)?;
+            self.rows[i].result = Some(stored);
+            self.stats.results_collected += 1;
+        }
+        Ok(self)
+    }
+
+    // ---------------------------------------------------------- step 5
+
+    /// The answer space of this experiment: the values votes are mapped
+    /// onto, in canonical order. Fixed by the presenter where possible so
+    /// tie-breaking is stable across runs.
+    pub fn answer_space(&self) -> Result<Vec<Value>> {
+        let presenter =
+            self.presenter.as_ref().ok_or_else(|| Error::State("no presenter set".into()))?;
+        Ok(match &presenter.kind {
+            PresenterKind::SingleChoice { labels } => {
+                labels.iter().map(|l| Value::String(l.clone())).collect()
+            }
+            PresenterKind::MatchPair => vec![Value::Bool(false), Value::Bool(true)],
+            PresenterKind::PairCompare => {
+                vec![Value::String("first".into()), Value::String("second".into())]
+            }
+            PresenterKind::FreeText => {
+                let mut distinct: Vec<Value> = Vec::new();
+                let mut seen = std::collections::BTreeSet::new();
+                for row in &self.rows {
+                    if let Some(res) = &row.result {
+                        for run in &res.runs {
+                            if seen.insert(canonical(&run.answer)) {
+                                distinct.push(run.answer.clone());
+                            }
+                        }
+                    }
+                }
+                distinct.sort_by_key(canonical);
+                distinct
+            }
+        })
+    }
+
+    /// Bridges the `result` column into a [`VoteMatrix`] over
+    /// [`answer_space`](CrowdData::answer_space). Answers outside the space
+    /// (malformed crowd input) are dropped, mirroring how the original
+    /// system tolerates junk submissions.
+    pub fn vote_matrix(&self) -> Result<(VoteMatrix, Vec<Value>)> {
+        let space = self.answer_space()?;
+        let index: HashMap<String, usize> =
+            space.iter().enumerate().map(|(i, v)| (canonical(v), i)).collect();
+        let mut matrix = VoteMatrix::new(space.len().max(1), self.rows.len());
+        for (i, row) in self.rows.iter().enumerate() {
+            if let Some(res) = &row.result {
+                for run in &res.runs {
+                    if let Some(&label) = index.get(&canonical(&run.answer)) {
+                        matrix.push_vote(i, run.worker_id, label);
+                    }
+                }
+            }
+        }
+        Ok((matrix, space))
+    }
+
+    /// Step 5 (paper default): majority vote into the derived column `mv`.
+    /// Ties break toward the earlier label of the answer space; unanswered
+    /// rows get `null`.
+    pub fn majority_vote(self) -> Result<Self> {
+        let (matrix, space) = self.vote_matrix()?;
+        let labels = majority_vote_matrix(&matrix, TiePolicy::LowestLabel);
+        self.set_label_column("mv", &labels, &space)
+    }
+
+    /// One-coin EM aggregation into the derived column `em`.
+    pub fn em_vote(self, config: &OneCoinConfig) -> Result<Self> {
+        let (matrix, space) = self.vote_matrix()?;
+        let model = OneCoin::fit(&matrix, config);
+        let labels = model.labels(&matrix);
+        self.set_label_column("em", &labels, &space)
+    }
+
+    /// Dawid–Skene aggregation into the derived column `ds`.
+    pub fn dawid_skene(self, config: &DsConfig) -> Result<Self> {
+        let (matrix, space) = self.vote_matrix()?;
+        let model = DawidSkene::fit(&matrix, config);
+        let labels = model.labels(&matrix);
+        self.set_label_column("ds", &labels, &space)
+    }
+
+    /// Weighted majority vote into the derived column `wmv`.
+    pub fn weighted_vote(
+        self,
+        weights: &HashMap<WorkerId, f64>,
+        default_weight: f64,
+    ) -> Result<Self> {
+        let (matrix, space) = self.vote_matrix()?;
+        let labels =
+            weighted_majority_vote_matrix(&matrix, weights, default_weight, TiePolicy::LowestLabel);
+        self.set_label_column("wmv", &labels, &space)
+    }
+
+    fn set_label_column(
+        mut self,
+        name: &str,
+        labels: &[Option<usize>],
+        space: &[Value],
+    ) -> Result<Self> {
+        for (row, label) in self.rows.iter_mut().zip(labels) {
+            let cell = match label {
+                Some(l) => space.get(*l).cloned().unwrap_or(Value::Null),
+                None => Value::Null,
+            };
+            row.derived.insert(name.to_string(), cell);
+        }
+        Ok(self)
+    }
+
+    /// Adds a derived column computed by a pure function of each row.
+    /// Like all derived columns it is *not* persisted — rerunning the
+    /// program recomputes it, per the paper's recovery model.
+    pub fn map(mut self, column: &str, f: impl Fn(&Row) -> Value) -> Result<Self> {
+        if matches!(column, "object" | "task" | "result") {
+            return Err(Error::State(format!("column name {column:?} is reserved")));
+        }
+        for row in self.rows.iter_mut() {
+            let cell = f(row);
+            row.derived.insert(column.to_string(), cell);
+        }
+        Ok(self)
+    }
+
+    // ---------------------------------------------------------- accessors
+
+    /// The experiment name.
+    pub fn name(&self) -> &str {
+        &self.manifest.name
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows are set.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// One row.
+    pub fn row(&self, index: usize) -> Option<&Row> {
+        self.rows.get(index)
+    }
+
+    /// A full column as values: `"object"`, `"task"`, `"result"`, or any
+    /// derived column. Missing cells are `null`.
+    pub fn column(&self, name: &str) -> Result<Vec<Value>> {
+        match name {
+            "object" => Ok(self.rows.iter().map(|r| r.object.clone()).collect()),
+            "task" => Ok(self
+                .rows
+                .iter()
+                .map(|r| {
+                    r.task
+                        .as_ref()
+                        .map(|t| serde_json::to_value(&t.task).unwrap_or(Value::Null))
+                        .unwrap_or(Value::Null)
+                })
+                .collect()),
+            "result" => Ok(self
+                .rows
+                .iter()
+                .map(|r| {
+                    r.result
+                        .as_ref()
+                        .map(|res| serde_json::to_value(&res.runs).unwrap_or(Value::Null))
+                        .unwrap_or(Value::Null)
+                })
+                .collect()),
+            other => {
+                // An empty table has every column, all empty.
+                if !self.rows.is_empty()
+                    && !self.rows.iter().any(|r| r.derived.contains_key(other))
+                {
+                    return Err(Error::MissingColumn(other.to_string()));
+                }
+                Ok(self
+                    .rows
+                    .iter()
+                    .map(|r| r.derived.get(other).cloned().unwrap_or(Value::Null))
+                    .collect())
+            }
+        }
+    }
+
+    /// Cache-reuse statistics for this instance.
+    pub fn run_stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// Exports the whole table — objects, tasks, results, derived cells —
+    /// as one self-describing JSON document, for examination outside the
+    /// library (notebooks, diffing two researchers' runs, archival).
+    pub fn export_json(&self) -> Result<Value> {
+        let mut rows = Vec::with_capacity(self.rows.len());
+        for row in &self.rows {
+            rows.push(serde_json::json!({
+                "index": row.index,
+                "hash": row.hash,
+                "object": row.object,
+                "task": row.task.as_ref().map(|t| serde_json::to_value(&t.task)).transpose()?,
+                "result": row
+                    .result
+                    .as_ref()
+                    .map(|r| serde_json::to_value(&r.runs))
+                    .transpose()?,
+                "derived": row.derived,
+            }));
+        }
+        Ok(serde_json::json!({
+            "experiment": self.manifest.name,
+            "presenter_fingerprint": self.manifest.presenter_fingerprint,
+            "n_assignments": self.manifest.n_assignments,
+            "rows": rows,
+        }))
+    }
+
+    /// The presenter, if step 2 has run.
+    pub fn current_presenter(&self) -> Option<&Presenter> {
+        self.presenter.as_ref()
+    }
+
+    /// The manifest as persisted.
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// The owning context.
+    pub fn context(&self) -> &CrowdContext {
+        &self.ctx
+    }
+
+    fn save_manifest(&self) -> Result<()> {
+        self.ctx
+            .store()
+            .manifests
+            .put(self.manifest.name.as_bytes(), &self.manifest)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::val;
+    use reprowd_platform::{CrowdPlatform, SimPlatform};
+    use reprowd_storage::{Backend, MemoryStore};
+    use std::sync::Arc;
+
+    fn sim_ctx(seed: u64) -> (CrowdContext, Arc<SimPlatform>) {
+        let platform = Arc::new(SimPlatform::quick(5, 1.0, seed));
+        let backend: Arc<dyn Backend> = Arc::new(MemoryStore::new());
+        (CrowdContext::new(Arc::clone(&platform) as Arc<dyn CrowdPlatform>, backend).unwrap(), platform)
+    }
+
+    fn figure2(cc: &CrowdContext, name: &str) -> CrowdData {
+        // The paper's Bob experiment over the simulated crowd: objects carry
+        // the answer model a real crowd would infer by looking at the image.
+        let objects: Vec<Value> = (0..3)
+            .map(|i| {
+                val!({
+                    "url": format!("img{i}.jpg"),
+                    "_sim": {"kind": "label", "truth": (i % 2), "labels": ["Yes", "No"], "difficulty": 0.0}
+                })
+            })
+            .collect();
+        cc.crowddata(name)
+            .unwrap()
+            .data(objects)
+            .unwrap()
+            .presenter(Presenter::image_label("Is this a cat?", &["Yes", "No"]))
+            .unwrap()
+            .publish(3)
+            .unwrap()
+            .collect()
+            .unwrap()
+            .majority_vote()
+            .unwrap()
+    }
+
+    #[test]
+    fn figure2_end_to_end() {
+        let (cc, _) = sim_ctx(1);
+        let cd = figure2(&cc, "bob");
+        assert_eq!(cd.len(), 3);
+        let mv = cd.column("mv").unwrap();
+        // Perfect workers: majority equals truth.
+        assert_eq!(mv, vec![val!("Yes"), val!("No"), val!("Yes")]);
+        let stats = cd.run_stats();
+        assert_eq!(stats.tasks_published, 3);
+        assert_eq!(stats.results_collected, 3);
+        assert_eq!(stats.tasks_reused, 0);
+    }
+
+    #[test]
+    fn rerun_uses_zero_platform_calls() {
+        let (cc, platform) = sim_ctx(2);
+        let first = figure2(&cc, "bob");
+        let calls_after_first = platform.api_calls();
+        let second = figure2(&cc, "bob");
+        // Identical results...
+        assert_eq!(first.column("mv").unwrap(), second.column("mv").unwrap());
+        assert_eq!(first.column("result").unwrap(), second.column("result").unwrap());
+        // ...and not a single extra platform call.
+        assert_eq!(platform.api_calls(), calls_after_first);
+        let stats = second.run_stats();
+        assert_eq!(stats.tasks_published, 0);
+        assert_eq!(stats.tasks_reused, 3);
+        assert_eq!(stats.results_reused, 3);
+    }
+
+    #[test]
+    fn extending_only_crowdsources_the_delta() {
+        let (cc, platform) = sim_ctx(3);
+        let _ = figure2(&cc, "bob");
+        let calls_before = platform.api_calls();
+        // Ally extends Bob's experiment with two new images.
+        let objects: Vec<Value> = (0..5)
+            .map(|i| {
+                val!({
+                    "url": format!("img{i}.jpg"),
+                    "_sim": {"kind": "label", "truth": (i % 2), "labels": ["Yes", "No"], "difficulty": 0.0}
+                })
+            })
+            .collect();
+        let cd = cc
+            .crowddata("bob")
+            .unwrap()
+            .data(objects)
+            .unwrap()
+            .presenter(Presenter::image_label("Is this a cat?", &["Yes", "No"]))
+            .unwrap()
+            .publish(3)
+            .unwrap()
+            .collect()
+            .unwrap()
+            .majority_vote()
+            .unwrap();
+        let stats = cd.run_stats();
+        assert_eq!(stats.tasks_reused, 3);
+        assert_eq!(stats.tasks_published, 2);
+        assert_eq!(stats.results_reused, 3);
+        assert_eq!(stats.results_collected, 2);
+        // Platform saw exactly the delta (2 publishes + 2 fetches).
+        assert_eq!(platform.api_calls() - calls_before, 4);
+        assert_eq!(cd.column("mv").unwrap().len(), 5);
+    }
+
+    #[test]
+    fn changing_presenter_invalidates_cache() {
+        let (cc, platform) = sim_ctx(4);
+        let _ = figure2(&cc, "bob");
+        let calls_before = platform.api_calls();
+        let objects: Vec<Value> = (0..3)
+            .map(|i| {
+                val!({
+                    "url": format!("img{i}.jpg"),
+                    "_sim": {"kind": "label", "truth": (i % 2), "labels": ["Yes", "No"], "difficulty": 0.0}
+                })
+            })
+            .collect();
+        let cd = cc
+            .crowddata("bob")
+            .unwrap()
+            .data(objects)
+            .unwrap()
+            // Different question: the old answers are not valid for it.
+            .presenter(Presenter::image_label("Is this a DOG?", &["Yes", "No"]))
+            .unwrap()
+            .publish(3)
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert_eq!(cd.run_stats().tasks_published, 3);
+        assert!(platform.api_calls() > calls_before);
+    }
+
+    #[test]
+    fn reordering_steps_keeps_cache_valid() {
+        // Unlike TurKit's order-keyed cache, content keys survive
+        // reordering of independent manipulations: publishing the same rows
+        // in reverse object order reuses all cells.
+        let (cc, platform) = sim_ctx(5);
+        let objs = |rev: bool| {
+            let mut v: Vec<Value> = (0..4)
+                .map(|i| {
+                    val!({
+                        "url": format!("img{i}.jpg"),
+                        "_sim": {"kind": "label", "truth": 0, "labels": ["Yes", "No"], "difficulty": 0.0}
+                    })
+                })
+                .collect();
+            if rev {
+                v.reverse();
+            }
+            v
+        };
+        let p = Presenter::image_label("Q?", &["Yes", "No"]);
+        let _ = cc
+            .crowddata("exp")
+            .unwrap()
+            .data(objs(false))
+            .unwrap()
+            .presenter(p.clone())
+            .unwrap()
+            .publish(2)
+            .unwrap()
+            .collect()
+            .unwrap();
+        let calls = platform.api_calls();
+        let cd = cc
+            .crowddata("exp")
+            .unwrap()
+            .data(objs(true))
+            .unwrap()
+            .presenter(p)
+            .unwrap()
+            .publish(2)
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert_eq!(platform.api_calls(), calls, "reordered rerun must be free");
+        assert_eq!(cd.run_stats().tasks_reused, 4);
+    }
+
+    #[test]
+    fn duplicate_objects_get_distinct_tasks() {
+        let (cc, _) = sim_ctx(6);
+        let obj = val!({"url": "same.jpg", "_sim": {"kind": "label", "truth": 0, "labels": ["Yes", "No"], "difficulty": 0.0}});
+        let cd = cc
+            .crowddata("dups")
+            .unwrap()
+            .data(vec![obj.clone(), obj.clone(), obj])
+            .unwrap()
+            .presenter(Presenter::image_label("Q?", &["Yes", "No"]))
+            .unwrap()
+            .publish(1)
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert_eq!(cd.run_stats().tasks_published, 3);
+        let hashes: std::collections::HashSet<&String> =
+            cd.rows().iter().map(|r| &r.hash).collect();
+        assert_eq!(hashes.len(), 3, "duplicate rows must have distinct cache keys");
+    }
+
+    #[test]
+    fn state_errors() {
+        let (cc, _) = sim_ctx(7);
+        // publish before data
+        assert!(matches!(
+            cc.crowddata("x").unwrap().publish(3),
+            Err(Error::State(_))
+        ));
+        // publish before presenter
+        assert!(matches!(
+            cc.crowddata("x").unwrap().data(vec![val!(1)]).unwrap().publish(3),
+            Err(Error::State(_))
+        ));
+        // collect before publish
+        let cd = cc
+            .crowddata("x")
+            .unwrap()
+            .data(vec![val!(1)])
+            .unwrap()
+            .presenter(Presenter::free_text("Q"))
+            .unwrap();
+        assert!(matches!(cd.collect(), Err(Error::State(_))));
+        // zero redundancy
+        let cd = cc
+            .crowddata("y")
+            .unwrap()
+            .data(vec![val!(1)])
+            .unwrap()
+            .presenter(Presenter::free_text("Q"))
+            .unwrap();
+        assert!(matches!(cd.publish(0), Err(Error::State(_))));
+    }
+
+    #[test]
+    fn map_adds_derived_column() {
+        let (cc, _) = sim_ctx(8);
+        let cd = cc
+            .crowddata("m")
+            .unwrap()
+            .data(vec![val!({"n": 1}), val!({"n": 2})])
+            .unwrap()
+            .map("double", |row| val!(row.object["n"].as_i64().unwrap() * 2))
+            .unwrap();
+        assert_eq!(cd.column("double").unwrap(), vec![val!(2), val!(4)]);
+        // Reserved names rejected.
+        assert!(cd.map("task", |_| Value::Null).is_err());
+    }
+
+    #[test]
+    fn missing_column_errors() {
+        let (cc, _) = sim_ctx(9);
+        let cd = cc.crowddata("c").unwrap().data(vec![val!(1)]).unwrap();
+        assert!(matches!(cd.column("nope"), Err(Error::MissingColumn(_))));
+        assert_eq!(cd.column("object").unwrap(), vec![val!(1)]);
+        assert_eq!(cd.column("task").unwrap(), vec![Value::Null]);
+        assert_eq!(cd.column("result").unwrap(), vec![Value::Null]);
+    }
+
+    #[test]
+    fn lost_platform_tasks_are_republished_on_collect() {
+        // The *client* keeps its database, but the platform is a fresh
+        // instance (its state died). collect() must republish pending rows.
+        let backend: Arc<dyn Backend> = Arc::new(MemoryStore::new());
+        let p1 = Arc::new(SimPlatform::quick(3, 1.0, 10));
+        let cc1 =
+            CrowdContext::new(Arc::clone(&p1) as Arc<dyn CrowdPlatform>, Arc::clone(&backend))
+                .unwrap();
+        let obj = val!({"url": "a.jpg", "_sim": {"kind": "label", "truth": 0, "labels": ["Yes", "No"], "difficulty": 0.0}});
+        // Publish but do NOT collect.
+        let _ = cc1
+            .crowddata("exp")
+            .unwrap()
+            .data(vec![obj.clone()])
+            .unwrap()
+            .presenter(Presenter::image_label("Q?", &["Yes", "No"]))
+            .unwrap()
+            .publish(2)
+            .unwrap();
+        // New platform, same database.
+        let p2 = Arc::new(SimPlatform::quick(3, 1.0, 11));
+        let cc2 =
+            CrowdContext::new(Arc::clone(&p2) as Arc<dyn CrowdPlatform>, backend).unwrap();
+        let cd = cc2
+            .crowddata("exp")
+            .unwrap()
+            .data(vec![obj])
+            .unwrap()
+            .presenter(Presenter::image_label("Q?", &["Yes", "No"]))
+            .unwrap()
+            .publish(2)
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert_eq!(cd.run_stats().tasks_republished, 1);
+        assert_eq!(cd.rows()[0].result.as_ref().unwrap().runs.len(), 2);
+    }
+
+    #[test]
+    fn export_json_is_complete_and_self_describing() {
+        let (cc, _) = sim_ctx(14);
+        let cd = figure2(&cc, "export");
+        let doc = cd.export_json().unwrap();
+        assert_eq!(doc["experiment"], "export");
+        assert_eq!(doc["rows"].as_array().unwrap().len(), 3);
+        let row0 = &doc["rows"][0];
+        assert!(row0["task"]["published_at"].is_number());
+        assert_eq!(row0["result"].as_array().unwrap().len(), 3);
+        assert_eq!(row0["derived"]["mv"], val!("Yes"));
+        // The export round-trips through serde as plain JSON.
+        let s = serde_json::to_string(&doc).unwrap();
+        let back: Value = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn vote_matrix_bridges_answers() {
+        let (cc, _) = sim_ctx(12);
+        let cd = figure2(&cc, "bridge");
+        let (matrix, space) = cd.vote_matrix().unwrap();
+        assert_eq!(matrix.n_items(), 3);
+        assert_eq!(matrix.n_votes(), 9);
+        assert_eq!(space, vec![val!("Yes"), val!("No")]);
+    }
+
+    #[test]
+    fn aggregators_set_their_columns() {
+        let (cc, _) = sim_ctx(13);
+        let cd = figure2(&cc, "agg");
+        let objects = cd.column("object").unwrap();
+        let cd = cc
+            .crowddata("agg")
+            .unwrap()
+            .data(objects)
+            .unwrap()
+            .presenter(Presenter::image_label("Is this a cat?", &["Yes", "No"]))
+            .unwrap()
+            .publish(3)
+            .unwrap()
+            .collect()
+            .unwrap()
+            .em_vote(&OneCoinConfig::default())
+            .unwrap()
+            .dawid_skene(&DsConfig::default())
+            .unwrap()
+            .weighted_vote(&HashMap::new(), 1.0)
+            .unwrap();
+        for col in ["em", "ds", "wmv"] {
+            let v = cd.column(col).unwrap();
+            assert_eq!(v.len(), 3);
+            assert!(v.iter().all(|x| !x.is_null()), "column {col} has nulls: {v:?}");
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Core error type, aggregating the substrate errors.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the CrowdData layer.
+#[derive(Debug)]
+pub enum Error {
+    /// The database layer failed.
+    Storage(reprowd_storage::Error),
+    /// The crowdsourcing platform failed (including injected faults).
+    Platform(reprowd_platform::Error),
+    /// The manipulation sequence is invalid in the current state, e.g.
+    /// `publish` before `data`, or `majority_vote` before `collect`.
+    State(String),
+    /// A requested column does not exist (yet).
+    MissingColumn(String),
+    /// JSON (de)serialization failed.
+    Json(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Storage(e) => write!(f, "storage: {e}"),
+            Error::Platform(e) => write!(f, "platform: {e}"),
+            Error::State(msg) => write!(f, "invalid state: {msg}"),
+            Error::MissingColumn(c) => write!(f, "missing column {c:?}"),
+            Error::Json(msg) => write!(f, "json: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Storage(e) => Some(e),
+            Error::Platform(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<reprowd_storage::Error> for Error {
+    fn from(e: reprowd_storage::Error) -> Self {
+        Error::Storage(e)
+    }
+}
+
+impl From<reprowd_platform::Error> for Error {
+    fn from(e: reprowd_platform::Error) -> Self {
+        Error::Platform(e)
+    }
+}
+
+impl From<serde_json::Error> for Error {
+    fn from(e: serde_json::Error) -> Self {
+        Error::Json(e.to_string())
+    }
+}
+
+impl Error {
+    /// True if the error is an injected platform fault (crash emulation) —
+    /// crash-recovery tests use this to distinguish "the experiment
+    /// crashed as planned" from real failures.
+    pub fn is_injected_fault(&self) -> bool {
+        matches!(self, Error::Platform(reprowd_platform::Error::Injected(_)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error as _;
+        let e: Error = reprowd_platform::Error::UnknownTask(4).into();
+        assert!(e.to_string().contains("platform"));
+        assert!(e.source().is_some());
+        let e = Error::State("bad".into());
+        assert!(e.to_string().contains("bad"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn injected_fault_detection() {
+        let e: Error = reprowd_platform::Error::Injected("budget".into()).into();
+        assert!(e.is_injected_fault());
+        let e: Error = reprowd_platform::Error::UnknownTask(1).into();
+        assert!(!e.is_injected_fault());
+    }
+}

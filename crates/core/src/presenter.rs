@@ -1,0 +1,187 @@
+//! Presenters — the "web user interface" step of the paper's pipeline.
+//!
+//! Step 2 of Figure 2 is `.presenter(ImageLabel)`: choosing how the task is
+//! shown to workers. A [`Presenter`] here is a declarative task template:
+//! the question, the answer schema (choices / pair comparison / match
+//! judgment), and a rendering into the task payload. Its
+//! [`fingerprint`](Presenter::fingerprint) is part of every cache key, so
+//! *changing the UI invalidates exactly the answers collected under the old
+//! UI* — re-asking the crowd is semantically required when the question
+//! changes, and only then.
+
+use crate::hash::{fnv1a, hex};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// The answer schema of a task template.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum PresenterKind {
+    /// Pick one label from a fixed list (image/text labeling).
+    SingleChoice {
+        /// The label strings, in canonical order (ties in majority vote
+        /// break toward the earlier label).
+        labels: Vec<String>,
+    },
+    /// Compare two objects and pick the preferred one (sort/max).
+    PairCompare,
+    /// Judge whether two records refer to the same entity (joins).
+    MatchPair,
+    /// Free-form text answer.
+    FreeText,
+}
+
+/// A declarative task template.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Presenter {
+    /// Template name (shows up in lineage and the platform project).
+    pub name: String,
+    /// The question posed to workers.
+    pub question: String,
+    /// Answer schema.
+    pub kind: PresenterKind,
+}
+
+impl Presenter {
+    /// Labeling UI over explicit choices (the Figure 2 presenter).
+    pub fn image_label(question: &str, labels: &[&str]) -> Self {
+        Presenter {
+            name: "image_label".into(),
+            question: question.into(),
+            kind: PresenterKind::SingleChoice {
+                labels: labels.iter().map(|l| l.to_string()).collect(),
+            },
+        }
+    }
+
+    /// Labeling UI for text objects.
+    pub fn text_label(question: &str, labels: &[&str]) -> Self {
+        Presenter {
+            name: "text_label".into(),
+            question: question.into(),
+            kind: PresenterKind::SingleChoice {
+                labels: labels.iter().map(|l| l.to_string()).collect(),
+            },
+        }
+    }
+
+    /// Pairwise-comparison UI ("which is better?").
+    pub fn pair_compare(question: &str) -> Self {
+        Presenter {
+            name: "pair_compare".into(),
+            question: question.into(),
+            kind: PresenterKind::PairCompare,
+        }
+    }
+
+    /// Entity-match UI ("do these refer to the same thing?").
+    pub fn match_pair(question: &str) -> Self {
+        Presenter {
+            name: "match_pair".into(),
+            question: question.into(),
+            kind: PresenterKind::MatchPair,
+        }
+    }
+
+    /// Free-text UI.
+    pub fn free_text(question: &str) -> Self {
+        Presenter {
+            name: "free_text".into(),
+            question: question.into(),
+            kind: PresenterKind::FreeText,
+        }
+    }
+
+    /// The label list, if this presenter has a fixed label space.
+    pub fn labels(&self) -> Option<&[String]> {
+        match &self.kind {
+            PresenterKind::SingleChoice { labels } => Some(labels),
+            _ => None,
+        }
+    }
+
+    /// Stable fingerprint of the full template; part of every cache key.
+    pub fn fingerprint(&self) -> String {
+        let encoded = serde_json::to_string(self).expect("presenter serializes");
+        hex(fnv1a(encoded.as_bytes()))
+    }
+
+    /// Renders the UI descriptor merged into a task payload for `object`.
+    /// If the object carries a simulation answer model (`"_sim"`), it is
+    /// lifted to the payload root where the platform's simulator looks.
+    pub fn render(&self, object: &Value) -> Value {
+        let mut payload = serde_json::json!({
+            "object": object,
+            "ui": {
+                "presenter": self.name,
+                "question": self.question,
+                "kind": self.kind,
+            },
+        });
+        if let Some(sim) = object.get("_sim") {
+            payload["_sim"] = sim.clone();
+        }
+        payload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::val;
+
+    #[test]
+    fn fingerprint_sensitive_to_every_field() {
+        let base = Presenter::image_label("Is this a cat?", &["Yes", "No"]);
+        let other_question = Presenter::image_label("Is this a dog?", &["Yes", "No"]);
+        let other_labels = Presenter::image_label("Is this a cat?", &["Yes", "No", "Maybe"]);
+        let other_order = Presenter::image_label("Is this a cat?", &["No", "Yes"]);
+        assert_ne!(base.fingerprint(), other_question.fingerprint());
+        assert_ne!(base.fingerprint(), other_labels.fingerprint());
+        assert_ne!(base.fingerprint(), other_order.fingerprint());
+        assert_eq!(
+            base.fingerprint(),
+            Presenter::image_label("Is this a cat?", &["Yes", "No"]).fingerprint()
+        );
+    }
+
+    #[test]
+    fn render_includes_object_and_ui() {
+        let p = Presenter::image_label("Q?", &["A", "B"]);
+        let payload = p.render(&val!({"url": "img.jpg"}));
+        assert_eq!(payload["object"]["url"], "img.jpg");
+        assert_eq!(payload["ui"]["question"], "Q?");
+        assert_eq!(payload["ui"]["kind"]["labels"][0], "A");
+        assert!(payload.get("_sim").is_none());
+    }
+
+    #[test]
+    fn render_lifts_sim_field() {
+        let p = Presenter::match_pair("Same?");
+        let obj = val!({"left": "a", "right": "b", "_sim": {"kind": "match", "is_match": true, "ambiguity": 0.1}});
+        let payload = p.render(&obj);
+        assert_eq!(payload["_sim"]["kind"], "match");
+    }
+
+    #[test]
+    fn builders_set_kinds() {
+        assert!(matches!(
+            Presenter::pair_compare("x").kind,
+            PresenterKind::PairCompare
+        ));
+        assert!(matches!(Presenter::match_pair("x").kind, PresenterKind::MatchPair));
+        assert!(matches!(Presenter::free_text("x").kind, PresenterKind::FreeText));
+        assert_eq!(
+            Presenter::text_label("x", &["l"]).labels().unwrap(),
+            &["l".to_string()][..]
+        );
+        assert!(Presenter::free_text("x").labels().is_none());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = Presenter::image_label("Q", &["Yes", "No"]);
+        let s = serde_json::to_string(&p).unwrap();
+        assert_eq!(serde_json::from_str::<Presenter>(&s).unwrap(), p);
+    }
+}

@@ -1,0 +1,211 @@
+//! The TurKit baseline: crash-and-rerun with *order-keyed* memoization.
+//!
+//! TurKit (Little et al., UIST 2010) caches each crowd call's return value
+//! in a database **in call order**: the n-th `once(...)` of a rerun gets
+//! the n-th cached value. The Reprowd paper's critique, verbatim: "If she
+//! accidentally swapped the order of two functions or added a new function
+//! between them, the whole experiment would break."
+//!
+//! This module is a faithful reimplementation of that model so experiment
+//! E5 can demonstrate the failure mode against CrowdData's content-keyed
+//! cache: after swapping two steps, the TurKit rerun silently returns the
+//! *wrong* cached answers, while CrowdData reuses every cell correctly.
+
+use crate::error::{Error, Result};
+use crate::value::Value;
+use reprowd_storage::{Backend, Table};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One memoized entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Memo {
+    /// Sequence number of the call within the script.
+    seq: u64,
+    /// The memoized return value.
+    value: Value,
+}
+
+/// A TurKit-style crash-and-rerun executor.
+///
+/// Each call to [`once`](CrashAndRerun::once) consumes the next sequence
+/// number. If the database already holds a value for that number, it is
+/// returned *without running the closure* — which is both the feature
+/// (crash recovery) and the bug (order sensitivity).
+pub struct CrashAndRerun {
+    table: Table<Memo>,
+    script: String,
+    seq: AtomicU64,
+}
+
+impl CrashAndRerun {
+    /// Opens (or resumes) the memo table for `script` on `backend`.
+    pub fn new(backend: Arc<dyn Backend>, script: &str) -> Result<Self> {
+        if script.contains('/') {
+            return Err(Error::State("script name may not contain '/'".into()));
+        }
+        Ok(CrashAndRerun {
+            table: Table::new(backend, "turkit")?,
+            script: script.to_string(),
+            seq: AtomicU64::new(0),
+        })
+    }
+
+    fn key(&self, seq: u64) -> Vec<u8> {
+        format!("{}/{seq:012}", self.script).into_bytes()
+    }
+
+    /// Runs `f` once ever: the first execution memoizes its value; replays
+    /// return the memo. The memo slot is chosen by *call order*.
+    pub fn once<F>(&self, f: F) -> Result<Value>
+    where
+        F: FnOnce() -> Result<Value>,
+    {
+        let seq = self.seq.fetch_add(1, Ordering::SeqCst);
+        let key = self.key(seq);
+        if let Some(memo) = self.table.get(&key)? {
+            return Ok(memo.value);
+        }
+        let value = f()?;
+        self.table.put(&key, &Memo { seq, value: value.clone() })?;
+        Ok(value)
+    }
+
+    /// Number of `once` calls made by this instance.
+    pub fn calls(&self) -> u64 {
+        self.seq.load(Ordering::SeqCst)
+    }
+
+    /// Number of memo entries persisted for this script.
+    pub fn memo_len(&self) -> Result<usize> {
+        Ok(self.table.scan_prefix(format!("{}/", self.script).as_bytes())?.len())
+    }
+
+    /// Drops all memos of this script (a fresh start).
+    pub fn clear(&self) -> Result<()> {
+        for (key, _) in self.table.scan_prefix(format!("{}/", self.script).as_bytes())? {
+            self.table.remove(&key)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::val;
+    use reprowd_storage::MemoryStore;
+    use std::sync::atomic::AtomicUsize;
+
+    fn backend() -> Arc<dyn Backend> {
+        Arc::new(MemoryStore::new())
+    }
+
+    #[test]
+    fn memoizes_and_replays_in_order() {
+        let be = backend();
+        let executions = AtomicUsize::new(0);
+        {
+            let tk = CrashAndRerun::new(Arc::clone(&be), "script").unwrap();
+            let a = tk
+                .once(|| {
+                    executions.fetch_add(1, Ordering::SeqCst);
+                    Ok(val!("answer-1"))
+                })
+                .unwrap();
+            assert_eq!(a, val!("answer-1"));
+        }
+        // "Crash", rerun the same script: no re-execution.
+        let tk = CrashAndRerun::new(Arc::clone(&be), "script").unwrap();
+        let a = tk
+            .once(|| {
+                executions.fetch_add(1, Ordering::SeqCst);
+                Ok(val!("answer-1-if-rerun"))
+            })
+            .unwrap();
+        assert_eq!(a, val!("answer-1"), "memo must be replayed");
+        assert_eq!(executions.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn swapping_calls_returns_wrong_values() {
+        // The paper's exact failure scenario.
+        let be = backend();
+        {
+            let tk = CrashAndRerun::new(Arc::clone(&be), "bob").unwrap();
+            tk.once(|| Ok(val!("label-of-img1"))).unwrap();
+            tk.once(|| Ok(val!("label-of-img2"))).unwrap();
+        }
+        // Ally swaps the two steps and reruns: TurKit silently hands her
+        // img1's answer for img2.
+        let tk = CrashAndRerun::new(Arc::clone(&be), "bob").unwrap();
+        let img2 = tk.once(|| Ok(val!("fresh-label-of-img2"))).unwrap();
+        let img1 = tk.once(|| Ok(val!("fresh-label-of-img1"))).unwrap();
+        assert_eq!(img2, val!("label-of-img1"), "silent wrong reuse");
+        assert_eq!(img1, val!("label-of-img2"), "silent wrong reuse");
+    }
+
+    #[test]
+    fn inserting_a_call_shifts_everything_after() {
+        let be = backend();
+        {
+            let tk = CrashAndRerun::new(Arc::clone(&be), "bob").unwrap();
+            tk.once(|| Ok(val!("A"))).unwrap();
+            tk.once(|| Ok(val!("B"))).unwrap();
+        }
+        let tk = CrashAndRerun::new(Arc::clone(&be), "bob").unwrap();
+        let a = tk.once(|| Ok(val!("A"))).unwrap();
+        let new = tk.once(|| Ok(val!("NEW"))).unwrap();
+        let b = tk.once(|| Ok(val!("B-rerun"))).unwrap();
+        assert_eq!(a, val!("A"));
+        // The inserted call steals B's memo...
+        assert_eq!(new, val!("B"));
+        // ...and the old second call re-executes (crowd money wasted).
+        assert_eq!(b, val!("B-rerun"));
+    }
+
+    #[test]
+    fn scripts_are_isolated() {
+        let be = backend();
+        let t1 = CrashAndRerun::new(Arc::clone(&be), "one").unwrap();
+        let t2 = CrashAndRerun::new(Arc::clone(&be), "two").unwrap();
+        t1.once(|| Ok(val!(1))).unwrap();
+        let v = t2.once(|| Ok(val!(2))).unwrap();
+        assert_eq!(v, val!(2));
+        assert_eq!(t1.memo_len().unwrap(), 1);
+        assert_eq!(t2.memo_len().unwrap(), 1);
+    }
+
+    #[test]
+    fn errors_are_not_memoized() {
+        let be = backend();
+        let tk = CrashAndRerun::new(Arc::clone(&be), "s").unwrap();
+        let r = tk.once(|| Err(Error::State("crowd down".into())));
+        assert!(r.is_err());
+        assert_eq!(tk.memo_len().unwrap(), 0);
+        // Note: like real TurKit, the *sequence number* was consumed; a
+        // retry within the same process lands on the next slot. A rerun
+        // from scratch starts at 0 again and succeeds.
+        let tk = CrashAndRerun::new(Arc::clone(&be), "s").unwrap();
+        let v = tk.once(|| Ok(val!("ok"))).unwrap();
+        assert_eq!(v, val!("ok"));
+    }
+
+    #[test]
+    fn clear_resets_script() {
+        let be = backend();
+        let tk = CrashAndRerun::new(Arc::clone(&be), "s").unwrap();
+        tk.once(|| Ok(val!(1))).unwrap();
+        tk.clear().unwrap();
+        assert_eq!(tk.memo_len().unwrap(), 0);
+        let tk = CrashAndRerun::new(be, "s").unwrap();
+        let v = tk.once(|| Ok(val!(2))).unwrap();
+        assert_eq!(v, val!(2));
+    }
+
+    #[test]
+    fn slash_in_script_name_rejected() {
+        assert!(CrashAndRerun::new(backend(), "a/b").is_err());
+    }
+}

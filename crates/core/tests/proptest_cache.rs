@@ -1,0 +1,145 @@
+//! Property tests for the paper's central invariants, over randomized
+//! experiment shapes:
+//!
+//! 1. **Zero-cost rerun**: for any object set and redundancy, rerunning the
+//!    pipeline issues no platform calls and reproduces the columns exactly.
+//! 2. **Permutation invariance**: rerunning with the objects in any order
+//!    is also free, and answers follow their objects.
+//! 3. **Monotone extension**: extending the object set only pays for the
+//!    delta.
+
+use proptest::prelude::*;
+use reprowd_core::context::CrowdContext;
+use reprowd_core::presenter::Presenter;
+use reprowd_core::value::Value;
+use reprowd_platform::{CrowdPlatform, SimPlatform};
+use reprowd_storage::MemoryStore;
+use std::sync::Arc;
+
+fn objects_strategy() -> impl Strategy<Value = Vec<(String, usize)>> {
+    // (url, truth) pairs; small space so duplicates occur.
+    prop::collection::vec(
+        ("img[a-f]{1,3}", 0usize..2).prop_map(|(url, truth)| (url, truth)),
+        1..12,
+    )
+}
+
+fn to_values(objs: &[(String, usize)]) -> Vec<Value> {
+    objs.iter()
+        .map(|(url, truth)| {
+            serde_json::json!({
+                "url": url,
+                "_sim": {"kind": "label", "truth": truth, "labels": ["Yes", "No"], "difficulty": 0.0}
+            })
+        })
+        .collect()
+}
+
+fn make_ctx(seed: u64) -> (CrowdContext, Arc<SimPlatform>) {
+    let platform = Arc::new(SimPlatform::quick(6, 0.9, seed));
+    let cc = CrowdContext::new(
+        Arc::clone(&platform) as Arc<dyn CrowdPlatform>,
+        Arc::new(MemoryStore::new()),
+    )
+    .unwrap();
+    (cc, platform)
+}
+
+fn run(
+    cc: &CrowdContext,
+    objects: Vec<Value>,
+    redundancy: u32,
+) -> reprowd_core::CrowdData {
+    cc.crowddata("prop")
+        .unwrap()
+        .data(objects)
+        .unwrap()
+        .presenter(Presenter::image_label("Q?", &["Yes", "No"]))
+        .unwrap()
+        .publish(redundancy)
+        .unwrap()
+        .collect()
+        .unwrap()
+        .majority_vote()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+    #[test]
+    fn rerun_is_free_and_identical(
+        objs in objects_strategy(),
+        redundancy in 1u32..4,
+        seed in 0u64..1000,
+    ) {
+        let (cc, platform) = make_ctx(seed);
+        let first = run(&cc, to_values(&objs), redundancy);
+        let calls = platform.api_calls();
+        let second = run(&cc, to_values(&objs), redundancy);
+        prop_assert_eq!(platform.api_calls(), calls, "rerun must be free");
+        prop_assert_eq!(first.column("mv").unwrap(), second.column("mv").unwrap());
+        prop_assert_eq!(first.column("result").unwrap(), second.column("result").unwrap());
+        prop_assert_eq!(second.run_stats().tasks_published, 0);
+    }
+
+    #[test]
+    fn permuted_rerun_is_free_and_consistent(
+        objs in objects_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let (cc, platform) = make_ctx(seed);
+        let first = run(&cc, to_values(&objs), 2);
+        let calls = platform.api_calls();
+
+        let mut rev = objs.clone();
+        rev.reverse();
+        let second = run(&cc, to_values(&rev), 2);
+        prop_assert_eq!(platform.api_calls(), calls, "permuted rerun must be free");
+
+        // Answers follow objects: compare per *occurrence* of each object.
+        // Reversal maps the k-th occurrence (of m) of a value to the
+        // (m-1-k)-th in the reversed list, so compare sorted multisets per
+        // distinct object instead of positions.
+        use std::collections::HashMap;
+        let group = |cd: &reprowd_core::CrowdData| {
+            let mut map: HashMap<String, Vec<String>> = HashMap::new();
+            let mv = cd.column("mv").unwrap();
+            for (row, v) in cd.rows().iter().zip(mv) {
+                map.entry(row.object["url"].as_str().unwrap().to_string())
+                    .or_default()
+                    .push(v.to_string());
+            }
+            for answers in map.values_mut() {
+                answers.sort();
+            }
+            map
+        };
+        prop_assert_eq!(group(&first), group(&second));
+    }
+
+    #[test]
+    fn extension_pays_only_for_the_delta(
+        objs in objects_strategy(),
+        extra in objects_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let (cc, _) = make_ctx(seed);
+        let first = run(&cc, to_values(&objs), 2);
+        prop_assert_eq!(first.run_stats().tasks_published as usize, objs.len());
+
+        // Extended run: prefix unchanged, `extra` appended.
+        let mut all = objs.clone();
+        all.extend(extra.clone());
+        let second = run(&cc, to_values(&all), 2);
+        let s = second.run_stats();
+        prop_assert_eq!(s.tasks_reused as usize, objs.len(), "prefix must be cached");
+        // Appended objects that duplicate a prefix object at the same
+        // occurrence index are also cache hits, so published <= extra.
+        prop_assert!(s.tasks_published as usize <= extra.len());
+        prop_assert_eq!(
+            (s.tasks_published + s.tasks_reused) as usize,
+            all.len()
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Labeling datasets — the paper's Figure 2 workload at scale.
+//!
+//! Each item has a ground-truth label and a *difficulty* in `[0, 1]`: the
+//! worker simulator raises a worker's error probability on hard items, which
+//! is what makes redundancy/aggregation sweeps (E8) interesting.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a labeling dataset.
+#[derive(Debug, Clone)]
+pub struct LabelConfig {
+    /// Number of items.
+    pub n_items: usize,
+    /// Size of the label space.
+    pub n_labels: usize,
+    /// Class priors; must sum to ~1. Empty = uniform.
+    pub priors: Vec<f64>,
+    /// Mean item difficulty (Beta-ish around this mean).
+    pub mean_difficulty: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LabelConfig {
+    fn default() -> Self {
+        LabelConfig { n_items: 100, n_labels: 2, priors: vec![], mean_difficulty: 0.3, seed: 11 }
+    }
+}
+
+/// A generated labeling dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LabelDataset {
+    /// Ground-truth label per item.
+    pub truth: Vec<usize>,
+    /// Difficulty per item in `[0, 1]`.
+    pub difficulty: Vec<f64>,
+    /// Label-space size.
+    pub n_labels: usize,
+    /// Item descriptions (e.g. fake image URLs) usable as CrowdData objects.
+    pub items: Vec<String>,
+}
+
+impl LabelDataset {
+    /// Generates a dataset (deterministic in config + seed).
+    pub fn generate(config: &LabelConfig) -> Self {
+        assert!(config.n_labels >= 2, "need at least two labels");
+        let priors = if config.priors.is_empty() {
+            vec![1.0 / config.n_labels as f64; config.n_labels]
+        } else {
+            assert_eq!(config.priors.len(), config.n_labels, "priors/labels mismatch");
+            let s: f64 = config.priors.iter().sum();
+            assert!(s > 0.0, "priors must have positive mass");
+            config.priors.iter().map(|p| p / s).collect()
+        };
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut truth = Vec::with_capacity(config.n_items);
+        let mut difficulty = Vec::with_capacity(config.n_items);
+        let mut items = Vec::with_capacity(config.n_items);
+        for i in 0..config.n_items {
+            let roll: f64 = rng.gen();
+            let mut acc = 0.0;
+            let mut label = config.n_labels - 1;
+            for (l, &p) in priors.iter().enumerate() {
+                acc += p;
+                if roll < acc {
+                    label = l;
+                    break;
+                }
+            }
+            truth.push(label);
+            // Triangular-ish sample around the mean, clamped to [0, 1].
+            let d = (config.mean_difficulty + (rng.gen::<f64>() - 0.5) * 0.6).clamp(0.0, 1.0);
+            difficulty.push(d);
+            items.push(format!("img://dataset/{i:06}.jpg"));
+        }
+        LabelDataset { truth, difficulty, n_labels: config.n_labels, items }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.truth.len()
+    }
+
+    /// True if the dataset has no items.
+    pub fn is_empty(&self) -> bool {
+        self.truth.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let cfg = LabelConfig::default();
+        let a = LabelDataset::generate(&cfg);
+        let b = LabelDataset::generate(&cfg);
+        assert_eq!(a.truth, b.truth);
+        assert_eq!(a.difficulty, b.difficulty);
+    }
+
+    #[test]
+    fn respects_priors_roughly() {
+        let cfg = LabelConfig {
+            n_items: 5000,
+            n_labels: 2,
+            priors: vec![0.8, 0.2],
+            ..LabelConfig::default()
+        };
+        let d = LabelDataset::generate(&cfg);
+        let zeros = d.truth.iter().filter(|&&t| t == 0).count() as f64 / 5000.0;
+        assert!((zeros - 0.8).abs() < 0.05, "empirical prior {zeros}");
+    }
+
+    #[test]
+    fn uniform_priors_by_default() {
+        let cfg = LabelConfig { n_items: 6000, n_labels: 3, ..LabelConfig::default() };
+        let d = LabelDataset::generate(&cfg);
+        for l in 0..3 {
+            let frac = d.truth.iter().filter(|&&t| t == l).count() as f64 / 6000.0;
+            assert!((frac - 1.0 / 3.0).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn difficulty_in_unit_interval() {
+        let d = LabelDataset::generate(&LabelConfig { n_items: 500, ..LabelConfig::default() });
+        assert!(d.difficulty.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two labels")]
+    fn single_label_rejected() {
+        LabelDataset::generate(&LabelConfig { n_labels: 1, ..LabelConfig::default() });
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn wrong_prior_arity_rejected() {
+        LabelDataset::generate(&LabelConfig {
+            n_labels: 3,
+            priors: vec![0.5, 0.5],
+            ..LabelConfig::default()
+        });
+    }
+
+    #[test]
+    fn items_are_unique_urls() {
+        let d = LabelDataset::generate(&LabelConfig { n_items: 100, ..LabelConfig::default() });
+        let set: std::collections::HashSet<&String> = d.items.iter().collect();
+        assert_eq!(set.len(), 100);
+    }
+}

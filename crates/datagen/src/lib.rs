@@ -1,0 +1,28 @@
+//! # reprowd-datagen
+//!
+//! Seeded synthetic workload generators for the Reprowd experiment suite.
+//!
+//! The paper's evaluation workloads (image labeling, entity resolution over
+//! product/restaurant records) rely on datasets and human answers we cannot
+//! ship. This crate generates their synthetic equivalents with controllable
+//! parameters and *deterministic* seeds, so every experiment in
+//! `EXPERIMENTS.md` regenerates byte-identical inputs:
+//!
+//! * [`er`] — entity-resolution corpora: clusters of duplicated records with
+//!   typo/abbreviation/token noise and ground-truth cluster ids (the
+//!   CrowdER / transitive-join workload).
+//! * [`labels`] — labeling datasets with per-item difficulty (the Figure 2
+//!   image-labeling workload).
+//! * [`ranking`] — items with latent quality scores for sort/max/top-k
+//!   experiments, plus the Bradley–Terry comparison model.
+//! * [`text`] — small word pools and string-noise primitives shared by the
+//!   generators.
+
+pub mod er;
+pub mod labels;
+pub mod ranking;
+pub mod text;
+
+pub use er::{ErConfig, ErCorpus, ErRecord};
+pub use labels::{LabelConfig, LabelDataset};
+pub use ranking::{comparison_probability, RankingConfig, RankingDataset};

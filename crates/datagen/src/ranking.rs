@@ -1,0 +1,129 @@
+//! Latent-score ranking datasets for crowd sort / max / top-k (E11).
+//!
+//! Each item gets a latent quality score; a crowd worker comparing items
+//! `i` and `j` prefers the better one with the Bradley–Terry probability
+//! `σ((s_i - s_j) / temperature)`, degraded further by the worker's own
+//! noise. The simulator's comparison answer model consumes these scores.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a ranking dataset.
+#[derive(Debug, Clone)]
+pub struct RankingConfig {
+    /// Number of items to rank.
+    pub n_items: usize,
+    /// Scores are drawn uniformly from `[0, score_range]`.
+    pub score_range: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RankingConfig {
+    fn default() -> Self {
+        RankingConfig { n_items: 50, score_range: 10.0, seed: 13 }
+    }
+}
+
+/// Items with latent scores and the implied true ranking.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RankingDataset {
+    /// Latent score per item (higher = better).
+    pub scores: Vec<f64>,
+    /// Item descriptions usable as CrowdData objects.
+    pub items: Vec<String>,
+}
+
+impl RankingDataset {
+    /// Generates a dataset (deterministic in config + seed).
+    pub fn generate(config: &RankingConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let scores: Vec<f64> =
+            (0..config.n_items).map(|_| rng.gen::<f64>() * config.score_range).collect();
+        let items = (0..config.n_items).map(|i| format!("photo://entry/{i:05}.jpg")).collect();
+        RankingDataset { scores, items }
+    }
+
+    /// Item indices sorted best-first (ties broken by index).
+    pub fn true_ranking(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.scores.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.scores[b].partial_cmp(&self.scores[a]).unwrap().then(a.cmp(&b))
+        });
+        idx
+    }
+
+    /// The index of the truly best item.
+    pub fn true_max(&self) -> Option<usize> {
+        self.true_ranking().first().copied()
+    }
+}
+
+/// Bradley–Terry probability that the item with score `si` is preferred
+/// over the one with score `sj`, at the given `temperature` (> 0; lower =
+/// more decisive comparisons).
+pub fn comparison_probability(si: f64, sj: f64, temperature: f64) -> f64 {
+    assert!(temperature > 0.0, "temperature must be positive");
+    1.0 / (1.0 + (-(si - sj) / temperature).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let cfg = RankingConfig::default();
+        assert_eq!(
+            RankingDataset::generate(&cfg).scores,
+            RankingDataset::generate(&cfg).scores
+        );
+    }
+
+    #[test]
+    fn true_ranking_is_sorted_by_score() {
+        let d = RankingDataset::generate(&RankingConfig::default());
+        let rank = d.true_ranking();
+        for w in rank.windows(2) {
+            assert!(d.scores[w[0]] >= d.scores[w[1]]);
+        }
+        assert_eq!(rank.len(), d.scores.len());
+    }
+
+    #[test]
+    fn true_max_has_highest_score() {
+        let d = RankingDataset::generate(&RankingConfig::default());
+        let max = d.true_max().unwrap();
+        assert!(d.scores.iter().all(|&s| s <= d.scores[max]));
+    }
+
+    #[test]
+    fn empty_dataset_has_no_max() {
+        let d = RankingDataset::generate(&RankingConfig { n_items: 0, ..Default::default() });
+        assert_eq!(d.true_max(), None);
+        assert!(d.true_ranking().is_empty());
+    }
+
+    #[test]
+    fn comparison_probability_properties() {
+        // Equal scores -> exactly 0.5.
+        assert!((comparison_probability(3.0, 3.0, 1.0) - 0.5).abs() < 1e-12);
+        // Better item preferred with p > 0.5.
+        assert!(comparison_probability(5.0, 3.0, 1.0) > 0.5);
+        // Complementarity.
+        let p = comparison_probability(5.0, 3.0, 1.0);
+        let q = comparison_probability(3.0, 5.0, 1.0);
+        assert!((p + q - 1.0).abs() < 1e-12);
+        // Lower temperature = more decisive.
+        assert!(
+            comparison_probability(5.0, 3.0, 0.5) > comparison_probability(5.0, 3.0, 2.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature")]
+    fn zero_temperature_rejected() {
+        comparison_probability(1.0, 0.0, 0.0);
+    }
+}

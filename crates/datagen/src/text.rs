@@ -1,0 +1,172 @@
+//! Word pools and string-noise primitives.
+//!
+//! The noise operations mirror how real-world duplicate records differ:
+//! typos (substitution/deletion/transposition), token drops,
+//! abbreviations, and token reordering.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Restaurant-style name fragments (the classic ER benchmark domain).
+pub const NAME_POOL: &[&str] = &[
+    "golden", "dragon", "palace", "kitchen", "garden", "house", "grill", "bistro", "cafe",
+    "corner", "royal", "lotus", "bamboo", "harbor", "sunset", "olive", "maple", "cedar",
+    "urban", "rustic", "silver", "copper", "blue", "red", "green", "little", "grand",
+];
+
+/// City names for the address-ish field.
+pub const CITY_POOL: &[&str] = &[
+    "vancouver", "burnaby", "richmond", "surrey", "seattle", "portland", "toronto",
+    "montreal", "calgary", "victoria",
+];
+
+/// Cuisine/category tokens.
+pub const CATEGORY_POOL: &[&str] = &[
+    "chinese", "italian", "mexican", "thai", "indian", "french", "japanese", "korean",
+    "vegan", "seafood", "bbq", "noodle", "pizza", "sushi", "burger",
+];
+
+/// Applies one random character-level typo (substitute, delete, duplicate,
+/// or transpose). Strings shorter than 2 characters are returned unchanged.
+pub fn typo(rng: &mut StdRng, s: &str) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.len() < 2 {
+        return s.to_string();
+    }
+    let i = rng.gen_range(0..chars.len());
+    let mut out = chars.clone();
+    match rng.gen_range(0..4u8) {
+        0 => {
+            // substitute with a nearby letter
+            out[i] = (b'a' + rng.gen_range(0..26u8)) as char;
+        }
+        1 => {
+            out.remove(i);
+        }
+        2 => {
+            let c = out[i];
+            out.insert(i, c);
+        }
+        _ => {
+            if i + 1 < out.len() {
+                out.swap(i, i + 1);
+            } else {
+                out.swap(i - 1, i);
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Abbreviates a token to its first 1–3 characters (like "restaurant" →
+/// "rest"), keeping at least one character.
+pub fn abbreviate(rng: &mut StdRng, token: &str) -> String {
+    let chars: Vec<char> = token.chars().collect();
+    if chars.len() <= 2 {
+        return token.to_string();
+    }
+    let keep = rng.gen_range(1..=3usize).min(chars.len() - 1);
+    chars[..keep].iter().collect()
+}
+
+/// Perturbs a whitespace-tokenized string: each token independently gets a
+/// typo with probability `typo_p`, is abbreviated with probability
+/// `abbr_p`, or dropped with probability `drop_p`; finally the token order
+/// may be rotated with probability `shuffle_p`. At least one token always
+/// survives, so records never become empty.
+pub fn perturb(
+    rng: &mut StdRng,
+    s: &str,
+    typo_p: f64,
+    abbr_p: f64,
+    drop_p: f64,
+    shuffle_p: f64,
+) -> String {
+    let tokens: Vec<&str> = s.split_whitespace().collect();
+    let mut out: Vec<String> = Vec::with_capacity(tokens.len());
+    for tok in &tokens {
+        let roll: f64 = rng.gen();
+        if roll < drop_p && out.len() + 1 < tokens.len() {
+            continue; // drop (but never drop the final remaining token)
+        } else if roll < drop_p + typo_p {
+            out.push(typo(rng, tok));
+        } else if roll < drop_p + typo_p + abbr_p {
+            out.push(abbreviate(rng, tok));
+        } else {
+            out.push(tok.to_string());
+        }
+    }
+    if out.is_empty() {
+        out.push(tokens.first().unwrap_or(&"x").to_string());
+    }
+    if rng.gen::<f64>() < shuffle_p && out.len() > 1 {
+        let rot = rng.gen_range(1..out.len());
+        out.rotate_left(rot);
+    }
+    out.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn typo_changes_or_preserves_length_sanely() {
+        let mut r = rng(1);
+        for _ in 0..100 {
+            let t = typo(&mut r, "restaurant");
+            assert!(!t.is_empty());
+            assert!((t.len() as i64 - 10).abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn typo_short_string_unchanged() {
+        let mut r = rng(2);
+        assert_eq!(typo(&mut r, "a"), "a");
+        assert_eq!(typo(&mut r, ""), "");
+    }
+
+    #[test]
+    fn abbreviate_shortens() {
+        let mut r = rng(3);
+        for _ in 0..50 {
+            let a = abbreviate(&mut r, "vancouver");
+            assert!(!a.is_empty() && a.len() < "vancouver".len());
+            assert!("vancouver".starts_with(&a));
+        }
+        assert_eq!(abbreviate(&mut r, "ab"), "ab");
+    }
+
+    #[test]
+    fn perturb_never_empties() {
+        let mut r = rng(4);
+        for _ in 0..200 {
+            let p = perturb(&mut r, "golden dragon palace", 0.5, 0.3, 0.9, 0.5);
+            assert!(!p.trim().is_empty());
+        }
+    }
+
+    #[test]
+    fn perturb_zero_noise_is_identity_modulo_whitespace() {
+        let mut r = rng(5);
+        assert_eq!(perturb(&mut r, "a  b   c", 0.0, 0.0, 0.0, 0.0), "a b c");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = rng(42);
+        let mut b = rng(42);
+        for _ in 0..20 {
+            assert_eq!(
+                perturb(&mut a, "golden dragon cafe", 0.3, 0.2, 0.1, 0.3),
+                perturb(&mut b, "golden dragon cafe", 0.3, 0.2, 0.1, 0.3)
+            );
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Multi-class categorization — the operator the paper's future-work line
+//! ("we will continue to add more algorithms") points at first; the
+//! original reprowd shipped it as an example application.
+//!
+//! Unlike binary labeling, multi-class votes spread thin: with `k` classes
+//! and `r` workers a plurality can be weak, so the operator reports a
+//! *confidence* (the winning label's vote share) and callers can route
+//! low-confidence items to a second, higher-redundancy round.
+
+use reprowd_core::context::CrowdContext;
+use reprowd_core::error::Result;
+use reprowd_core::presenter::Presenter;
+use reprowd_core::value::Value;
+
+/// Configuration of a categorization run.
+#[derive(Debug, Clone)]
+pub struct CategorizeConfig {
+    /// Experiment name (cache namespace).
+    pub experiment: String,
+    /// The question shown to workers.
+    pub question: String,
+    /// The category labels.
+    pub categories: Vec<String>,
+    /// Redundancy per item.
+    pub n_assignments: u32,
+    /// Items whose winning vote share falls below this go to a second
+    /// round with `escalated_assignments` (set equal to `n_assignments`
+    /// to disable escalation).
+    pub confidence_floor: f64,
+    /// Redundancy of the escalation round.
+    pub escalated_assignments: u32,
+}
+
+impl CategorizeConfig {
+    /// 3-assignment categorization, escalating items under 2/3 agreement
+    /// to 5 workers.
+    pub fn new(experiment: &str, question: &str, categories: &[&str]) -> Self {
+        CategorizeConfig {
+            experiment: experiment.to_string(),
+            question: question.to_string(),
+            categories: categories.iter().map(|c| c.to_string()).collect(),
+            n_assignments: 3,
+            confidence_floor: 0.67,
+            escalated_assignments: 5,
+        }
+    }
+}
+
+/// Output of [`crowd_categorize`].
+#[derive(Debug, Clone)]
+pub struct CategorizeResult {
+    /// Winning category per item (`Null` if no votes at all).
+    pub categories: Vec<Value>,
+    /// Vote share of the winner per item, in `[0, 1]`.
+    pub confidence: Vec<f64>,
+    /// Items that went through the escalation round.
+    pub escalated: Vec<usize>,
+    /// Combined cache statistics (first round + escalation).
+    pub stats: reprowd_core::crowddata::RunStats,
+}
+
+/// Categorizes `items`, escalating low-confidence ones to more workers.
+pub fn crowd_categorize(
+    cc: &CrowdContext,
+    items: Vec<Value>,
+    cfg: &CategorizeConfig,
+) -> Result<CategorizeResult> {
+    let label_refs: Vec<&str> = cfg.categories.iter().map(String::as_str).collect();
+    let presenter = Presenter::text_label(&cfg.question, &label_refs);
+    let cd = cc
+        .crowddata(&cfg.experiment)?
+        .data(items.clone())?
+        .presenter(presenter.clone())?
+        .publish(cfg.n_assignments)?
+        .collect()?;
+    let (mut winners, mut confidence) = tally(&cd)?;
+    let mut stats = cd.run_stats();
+
+    // Escalation round for weakly-decided items, as its own experiment so
+    // the extra answers cache independently.
+    let escalated: Vec<usize> = confidence
+        .iter()
+        .enumerate()
+        .filter(|&(i, &c)| c < cfg.confidence_floor && !items[i].is_null())
+        .map(|(i, _)| i)
+        .collect();
+    if !escalated.is_empty() && cfg.escalated_assignments > cfg.n_assignments {
+        let escalated_items: Vec<Value> = escalated.iter().map(|&i| items[i].clone()).collect();
+        let cd2 = cc
+            .crowddata(&format!("{}-escalated", cfg.experiment))?
+            .data(escalated_items)?
+            .presenter(presenter)?
+            .publish(cfg.escalated_assignments)?
+            .collect()?;
+        let (w2, c2) = tally(&cd2)?;
+        for (slot, &item) in escalated.iter().enumerate() {
+            winners[item] = w2[slot].clone();
+            confidence[item] = c2[slot];
+        }
+        let s2 = cd2.run_stats();
+        stats.tasks_published += s2.tasks_published;
+        stats.tasks_reused += s2.tasks_reused;
+        stats.results_collected += s2.results_collected;
+        stats.results_reused += s2.results_reused;
+    }
+
+    Ok(CategorizeResult { categories: winners, confidence, escalated, stats })
+}
+
+/// Winning label + vote share per row.
+fn tally(cd: &reprowd_core::CrowdData) -> Result<(Vec<Value>, Vec<f64>)> {
+    let (matrix, space) = cd.vote_matrix()?;
+    let hists = matrix.histograms();
+    let mut winners = Vec::with_capacity(hists.len());
+    let mut confidence = Vec::with_capacity(hists.len());
+    for h in hists {
+        let total: usize = h.iter().sum();
+        if total == 0 {
+            winners.push(Value::Null);
+            confidence.push(0.0);
+            continue;
+        }
+        let (best, &votes) =
+            h.iter().enumerate().max_by_key(|&(i, &v)| (v, std::cmp::Reverse(i))).expect("nonempty");
+        winners.push(space.get(best).cloned().unwrap_or(Value::Null));
+        confidence.push(votes as f64 / total as f64);
+    }
+    Ok((winners, confidence))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reprowd_core::val;
+    use reprowd_platform::{CrowdPlatform, SimPlatform};
+    use std::sync::Arc;
+
+    const CATS: [&str; 4] = ["electronics", "clothing", "food", "books"];
+
+    fn ctx(ability: f64, seed: u64) -> CrowdContext {
+        let platform: Arc<dyn CrowdPlatform> = Arc::new(SimPlatform::quick(7, ability, seed));
+        CrowdContext::new(platform, Arc::new(reprowd_storage::MemoryStore::new())).unwrap()
+    }
+
+    fn items(n: usize, difficulty: f64) -> Vec<Value> {
+        (0..n)
+            .map(|i| {
+                val!({
+                    "text": format!("product {i}"),
+                    "_sim": {"kind": "label", "truth": (i % 4), "labels": CATS, "difficulty": difficulty}
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn categorizes_correctly_with_good_crowd() {
+        let cc = ctx(1.0, 1);
+        let cfg = CategorizeConfig::new("cat", "Which category?", &CATS);
+        let out = crowd_categorize(&cc, items(8, 0.0), &cfg).unwrap();
+        for (i, c) in out.categories.iter().enumerate() {
+            assert_eq!(c.as_str(), Some(CATS[i % 4]));
+        }
+        assert!(out.confidence.iter().all(|&c| c == 1.0));
+        assert!(out.escalated.is_empty());
+    }
+
+    #[test]
+    fn low_confidence_items_escalate() {
+        // Hard items (difficulty 0.9): first-round agreement is weak, so
+        // escalation fires and re-asks with more workers.
+        let cc = ctx(0.9, 2);
+        let mut cfg = CategorizeConfig::new("cat-esc", "Which category?", &CATS);
+        cfg.confidence_floor = 0.99; // force escalation for any disagreement
+        let out = crowd_categorize(&cc, items(12, 0.9), &cfg).unwrap();
+        assert!(!out.escalated.is_empty(), "hard items should escalate");
+        // Escalated items got 5 assignments: their confidence comes from
+        // a 5-vote histogram, so it is a multiple of 1/5.
+        for &i in &out.escalated {
+            let c = out.confidence[i];
+            assert!((c * 5.0).fract().abs() < 1e-9, "confidence {c} not out of 5 votes");
+        }
+    }
+
+    #[test]
+    fn rerun_is_cached_including_escalation() {
+        let cc = ctx(0.85, 3);
+        let mut cfg = CategorizeConfig::new("cat-rerun", "Q?", &CATS);
+        cfg.confidence_floor = 0.99;
+        let first = crowd_categorize(&cc, items(10, 0.8), &cfg).unwrap();
+        let second = crowd_categorize(&cc, items(10, 0.8), &cfg).unwrap();
+        assert_eq!(first.categories, second.categories);
+        assert_eq!(second.stats.tasks_published, 0, "full rerun must be free");
+    }
+
+    #[test]
+    fn empty_input() {
+        let cc = ctx(0.9, 4);
+        let cfg = CategorizeConfig::new("cat-e", "Q?", &CATS);
+        let out = crowd_categorize(&cc, vec![], &cfg).unwrap();
+        assert!(out.categories.is_empty());
+        assert!(out.escalated.is_empty());
+    }
+}

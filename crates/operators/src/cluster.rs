@@ -1,0 +1,151 @@
+//! Union-find clustering and pairwise evaluation metrics.
+//!
+//! Entity resolution outputs *matched pairs*; downstream consumers want
+//! *entities* (clusters = connected components of the match graph) and the
+//! evaluation wants pairwise precision/recall/F1 against ground truth.
+
+/// Classic disjoint-set with union by rank and path halving.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect(), rank: vec![0; n] }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns false if already merged.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// True if `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Cluster labels normalized so each cluster is named by its smallest
+    /// member (deterministic across runs).
+    pub fn labels(&mut self) -> Vec<usize> {
+        let n = self.parent.len();
+        let mut smallest: Vec<usize> = (0..n).collect();
+        for x in 0..n {
+            let r = self.find(x);
+            if x < smallest[r] {
+                smallest[r] = x;
+            }
+        }
+        (0..n).map(|x| smallest[self.parent[x]]).collect()
+    }
+}
+
+/// Connected-component labels from matched pairs over `n` records.
+pub fn clusters_from_pairs(n: usize, pairs: &[(usize, usize)]) -> Vec<usize> {
+    let mut uf = UnionFind::new(n);
+    for &(a, b) in pairs {
+        uf.union(a, b);
+    }
+    uf.labels()
+}
+
+/// Pairwise precision/recall/F1 of predicted match pairs against truth.
+/// Pairs are normalized to `(min, max)`; duplicates are ignored.
+pub fn pairwise_prf(predicted: &[(usize, usize)], truth: &[(usize, usize)]) -> (f64, f64, f64) {
+    use std::collections::HashSet;
+    let norm = |pairs: &[(usize, usize)]| -> HashSet<(usize, usize)> {
+        pairs.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect()
+    };
+    let p = norm(predicted);
+    let t = norm(truth);
+    let tp = p.intersection(&t).count() as f64;
+    let precision = if p.is_empty() { 1.0 } else { tp / p.len() as f64 };
+    let recall = if t.is_empty() { 1.0 } else { tp / t.len() as f64 };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    (precision, recall, f1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2), "already same set");
+        assert!(uf.same(0, 2));
+        assert!(!uf.same(0, 3));
+    }
+
+    #[test]
+    fn labels_are_min_member() {
+        let mut uf = UnionFind::new(6);
+        uf.union(4, 2);
+        uf.union(2, 5);
+        uf.union(0, 1);
+        let labels = uf.labels();
+        assert_eq!(labels, vec![0, 0, 2, 3, 2, 2]);
+    }
+
+    #[test]
+    fn clusters_from_pairs_transitive() {
+        let labels = clusters_from_pairs(4, &[(0, 1), (1, 2)]);
+        assert_eq!(labels[0], labels[2]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn prf_perfect_and_empty() {
+        let truth = vec![(0, 1), (2, 3)];
+        assert_eq!(pairwise_prf(&truth, &truth), (1.0, 1.0, 1.0));
+        let (p, r, f1) = pairwise_prf(&[], &truth);
+        assert_eq!(p, 1.0);
+        assert_eq!(r, 0.0);
+        assert_eq!(f1, 0.0);
+        assert_eq!(pairwise_prf(&[], &[]), (1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn prf_counts_correctly() {
+        let predicted = vec![(1, 0), (2, 3), (4, 5)];
+        let truth = vec![(0, 1), (2, 3), (6, 7)];
+        let (p, r, f1) = pairwise_prf(&predicted, &truth);
+        assert!((p - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r - 2.0 / 3.0).abs() < 1e-12);
+        assert!((f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prf_normalizes_pair_order() {
+        assert_eq!(pairwise_prf(&[(5, 2)], &[(2, 5)]), (1.0, 1.0, 1.0));
+    }
+}

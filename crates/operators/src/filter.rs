@@ -1,0 +1,112 @@
+//! The crowd filter operator: keep the items the crowd says satisfy a
+//! predicate ("is this image safe for work?", "is this review spam?").
+
+use reprowd_core::context::CrowdContext;
+use reprowd_core::error::Result;
+use reprowd_core::presenter::Presenter;
+use reprowd_core::value::Value;
+
+/// Configuration of a crowd filter.
+#[derive(Debug, Clone)]
+pub struct CrowdFilterConfig {
+    /// Experiment name (cache namespace).
+    pub experiment: String,
+    /// The yes/no predicate question.
+    pub question: String,
+    /// Redundancy per item.
+    pub n_assignments: u32,
+}
+
+impl CrowdFilterConfig {
+    /// 3-assignment filter.
+    pub fn new(experiment: &str, question: &str) -> Self {
+        CrowdFilterConfig {
+            experiment: experiment.to_string(),
+            question: question.to_string(),
+            n_assignments: 3,
+        }
+    }
+}
+
+/// Output of [`crowd_filter`].
+#[derive(Debug, Clone)]
+pub struct CrowdFilterResult {
+    /// Indices of items the crowd kept.
+    pub kept: Vec<usize>,
+    /// The per-item verdicts (`true` = keep; `None` = unresolved, dropped).
+    pub verdicts: Vec<Option<bool>>,
+    /// Cache-reuse statistics.
+    pub stats: reprowd_core::crowddata::RunStats,
+}
+
+/// Filters `items` by the crowd's majority answer to a yes/no question.
+pub fn crowd_filter(
+    cc: &CrowdContext,
+    items: Vec<Value>,
+    cfg: &CrowdFilterConfig,
+) -> Result<CrowdFilterResult> {
+    let cd = cc
+        .crowddata(&cfg.experiment)?
+        .data(items)?
+        .presenter(Presenter::image_label(&cfg.question, &["Yes", "No"]))?
+        .publish(cfg.n_assignments)?
+        .collect()?
+        .majority_vote()?;
+    let mv = cd.column("mv")?;
+    let verdicts: Vec<Option<bool>> = mv
+        .iter()
+        .map(|v| match v {
+            Value::String(s) if s == "Yes" => Some(true),
+            Value::String(s) if s == "No" => Some(false),
+            _ => None,
+        })
+        .collect();
+    let kept = verdicts
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| **v == Some(true))
+        .map(|(i, _)| i)
+        .collect();
+    Ok(CrowdFilterResult { kept, verdicts, stats: cd.run_stats() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reprowd_core::val;
+
+    fn perfect_ctx(seed: u64) -> CrowdContext {
+        use reprowd_platform::{CrowdPlatform, SimPlatform};
+        use std::sync::Arc;
+        let platform: Arc<dyn CrowdPlatform> = Arc::new(SimPlatform::quick(5, 1.0, seed));
+        CrowdContext::new(platform, Arc::new(reprowd_storage::MemoryStore::new())).unwrap()
+    }
+
+    #[test]
+    fn keeps_positive_items() {
+        // Perfect workers so the expected kept-set is exact.
+        let cc = perfect_ctx(41);
+        let items: Vec<Value> = (0..6)
+            .map(|i| {
+                val!({
+                    "text": format!("item {i}"),
+                    "_sim": {"kind": "label", "truth": if i % 3 == 0 {0} else {1}, "labels": ["Yes", "No"], "difficulty": 0.0}
+                })
+            })
+            .collect();
+        let out =
+            crowd_filter(&cc, items, &CrowdFilterConfig::new("filt", "Keep it?")).unwrap();
+        assert_eq!(out.kept, vec![0, 3]);
+        assert_eq!(out.verdicts.len(), 6);
+        assert_eq!(out.verdicts[1], Some(false));
+    }
+
+    #[test]
+    fn empty_input() {
+        let cc = CrowdContext::in_memory_sim(42);
+        let out =
+            crowd_filter(&cc, vec![], &CrowdFilterConfig::new("filt", "Keep it?")).unwrap();
+        assert!(out.kept.is_empty());
+        assert!(out.verdicts.is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! Crowdsourced join algorithms — the two the paper re-implemented.
+
+pub mod crowder;
+pub mod transitive;
+
+use reprowd_core::value::Value;
+
+/// Builds the pair object sent to the crowd for records `i` and `j`,
+/// applying the caller's `decorate` hook (the simulation seam).
+pub(crate) fn pair_object(
+    left_idx: usize,
+    right_idx: usize,
+    left: &str,
+    right: &str,
+    decorate: &impl Fn(usize, usize, &mut Value),
+) -> Value {
+    let mut obj = serde_json::json!({
+        "left": left,
+        "right": right,
+        "pair": [left_idx, right_idx],
+    });
+    decorate(left_idx, right_idx, &mut obj);
+    obj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_object_carries_indices_and_decoration() {
+        let obj = pair_object(3, 7, "rec a", "rec b", &|l, r, o| {
+            o["_sim"] = serde_json::json!({"l": l, "r": r});
+        });
+        assert_eq!(obj["pair"][0], 3);
+        assert_eq!(obj["pair"][1], 7);
+        assert_eq!(obj["left"], "rec a");
+        assert_eq!(obj["_sim"]["l"], 3);
+    }
+}

@@ -1,0 +1,153 @@
+//! Crowdsourced max: single-elimination tournament.
+//!
+//! Finding the best item needs only `n - 1` comparisons instead of the
+//! sort's `O(n²)`: pair items up, winners advance. With noisy workers the
+//! tournament can eliminate the true best early — redundancy per match is
+//! the knob (experiment E11 compares cost/accuracy against full sort).
+
+use crate::join::pair_object;
+use reprowd_core::context::CrowdContext;
+use reprowd_core::error::Result;
+use reprowd_core::presenter::Presenter;
+use reprowd_core::value::Value;
+
+/// Configuration of a crowd max.
+#[derive(Debug, Clone)]
+pub struct CrowdMaxConfig {
+    /// Experiment name prefix (each round is a sub-experiment).
+    pub experiment: String,
+    /// The comparison question.
+    pub question: String,
+    /// Redundancy per match.
+    pub n_assignments: u32,
+}
+
+impl CrowdMaxConfig {
+    /// 3-assignment tournament.
+    pub fn new(experiment: &str, question: &str) -> Self {
+        CrowdMaxConfig {
+            experiment: experiment.to_string(),
+            question: question.to_string(),
+            n_assignments: 3,
+        }
+    }
+}
+
+/// Output of [`crowd_max`].
+#[derive(Debug, Clone)]
+pub struct CrowdMaxResult {
+    /// Index of the tournament winner (None for empty input).
+    pub max: Option<usize>,
+    /// Total matches played.
+    pub comparisons: usize,
+    /// The bracket: survivors after each round (round 0 = all items).
+    pub rounds: Vec<Vec<usize>>,
+}
+
+/// Finds the crowd-judged best of `items` by single elimination.
+pub fn crowd_max(
+    cc: &CrowdContext,
+    items: &[String],
+    cfg: &CrowdMaxConfig,
+    decorate: impl Fn(usize, usize, &mut Value),
+) -> Result<CrowdMaxResult> {
+    if items.is_empty() {
+        return Ok(CrowdMaxResult { max: None, comparisons: 0, rounds: vec![] });
+    }
+    let mut survivors: Vec<usize> = (0..items.len()).collect();
+    let mut rounds = vec![survivors.clone()];
+    let mut comparisons = 0usize;
+    let mut round_no = 0usize;
+
+    while survivors.len() > 1 {
+        // Pair adjacent survivors; an odd one out gets a bye.
+        let matches: Vec<(usize, usize)> =
+            survivors.chunks(2).filter(|c| c.len() == 2).map(|c| (c[0], c[1])).collect();
+        let bye = if survivors.len() % 2 == 1 { survivors.last().copied() } else { None };
+
+        let objects: Vec<Value> = matches
+            .iter()
+            .map(|&(i, j)| pair_object(i, j, &items[i], &items[j], &decorate))
+            .collect();
+        let cd = cc
+            .crowddata(&format!("{}-round{}", cfg.experiment, round_no))?
+            .data(objects)?
+            .presenter(Presenter::pair_compare(&cfg.question))?
+            .publish(cfg.n_assignments)?
+            .collect()?
+            .majority_vote()?;
+        let mv = cd.column("mv")?;
+        comparisons += matches.len();
+
+        let mut next = Vec::with_capacity(survivors.len() / 2 + 1);
+        for (&(i, j), verdict) in matches.iter().zip(&mv) {
+            match verdict {
+                Value::String(s) if s == "second" => next.push(j),
+                // "first" or unresolved: the earlier item advances
+                // (deterministic default).
+                _ => next.push(i),
+            }
+        }
+        if let Some(b) = bye {
+            next.push(b);
+        }
+        survivors = next;
+        rounds.push(survivors.clone());
+        round_no += 1;
+    }
+    Ok(CrowdMaxResult { max: survivors.first().copied(), comparisons, rounds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reprowd_core::val;
+
+    fn setup(n: usize) -> (Vec<String>, impl Fn(usize, usize, &mut Value)) {
+        let items: Vec<String> = (0..n).map(|i| format!("photo {i}")).collect();
+        let hook = move |i: usize, j: usize, obj: &mut Value| {
+            let p_first = 1.0 / (1.0 + (-((i as f64) - (j as f64)) / 0.25).exp());
+            obj["_sim"] = val!({"kind": "compare", "p_first": p_first});
+        };
+        (items, hook)
+    }
+
+    #[test]
+    fn finds_best_item_with_n_minus_1_comparisons() {
+        let cc = CrowdContext::in_memory_sim(81);
+        let (items, hook) = setup(8);
+        let out = crowd_max(&cc, &items, &CrowdMaxConfig::new("max", "Better?"), hook).unwrap();
+        assert_eq!(out.max, Some(7));
+        assert_eq!(out.comparisons, 7);
+        assert_eq!(out.rounds.last().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn odd_field_with_byes() {
+        let cc = CrowdContext::in_memory_sim(82);
+        let (items, hook) = setup(5);
+        let out = crowd_max(&cc, &items, &CrowdMaxConfig::new("max5", "Better?"), hook).unwrap();
+        assert_eq!(out.max, Some(4));
+        assert_eq!(out.comparisons, 4);
+    }
+
+    #[test]
+    fn trivial_inputs() {
+        let cc = CrowdContext::in_memory_sim(83);
+        let cfg = CrowdMaxConfig::new("max-t", "Q?");
+        let out = crowd_max(&cc, &[], &cfg, crate::no_sim).unwrap();
+        assert_eq!(out.max, None);
+        let out = crowd_max(&cc, &["only".to_string()], &cfg, crate::no_sim).unwrap();
+        assert_eq!(out.max, Some(0));
+        assert_eq!(out.comparisons, 0);
+    }
+
+    #[test]
+    fn comparisons_scale_linearly() {
+        let cc = CrowdContext::in_memory_sim(84);
+        let (items, hook) = setup(16);
+        let out = crowd_max(&cc, &items, &CrowdMaxConfig::new("max16", "Q?"), hook).unwrap();
+        assert_eq!(out.comparisons, 15); // n - 1
+        assert_eq!(out.max, Some(15));
+    }
+}

@@ -1,0 +1,211 @@
+//! Numeric rating aggregation: workers score items on a 1..=k scale;
+//! the operator aggregates to a number (mean / median / trimmed mean).
+//!
+//! Ratings are ordinal, not categorical — a 4 is *close* to a 5 — so
+//! majority vote discards information; averaging over the scale is the
+//! standard estimator, with trimming to blunt spammers.
+
+use reprowd_core::context::CrowdContext;
+use reprowd_core::error::Result;
+use reprowd_core::presenter::Presenter;
+use reprowd_core::value::Value;
+
+/// How per-item ratings are reduced to one number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RatingAggregation {
+    /// Arithmetic mean of all ratings.
+    Mean,
+    /// Median rating (robust to a minority of outliers).
+    Median,
+    /// Mean after dropping the lowest and highest rating (if ≥ 3 votes).
+    TrimmedMean,
+}
+
+/// Configuration of a rating run.
+#[derive(Debug, Clone)]
+pub struct RatingConfig {
+    /// Experiment name (cache namespace).
+    pub experiment: String,
+    /// The prompt shown to workers.
+    pub question: String,
+    /// Scale size: workers answer 1..=scale.
+    pub scale: u32,
+    /// Redundancy per item.
+    pub n_assignments: u32,
+    /// Reduction method.
+    pub aggregation: RatingAggregation,
+}
+
+impl RatingConfig {
+    /// 1-5 stars, 5 raters, trimmed mean.
+    pub fn new(experiment: &str, question: &str) -> Self {
+        RatingConfig {
+            experiment: experiment.to_string(),
+            question: question.to_string(),
+            scale: 5,
+            n_assignments: 5,
+            aggregation: RatingAggregation::TrimmedMean,
+        }
+    }
+}
+
+/// Output of [`crowd_rate`].
+#[derive(Debug, Clone)]
+pub struct RatingResult {
+    /// Aggregated score per item (`None` for items with no ratings).
+    pub scores: Vec<Option<f64>>,
+    /// Raw per-item ratings, in submission order.
+    pub raw: Vec<Vec<u32>>,
+    /// Cache statistics.
+    pub stats: reprowd_core::crowddata::RunStats,
+}
+
+/// Rates `items` on a 1..=scale and aggregates.
+pub fn crowd_rate(cc: &CrowdContext, items: Vec<Value>, cfg: &RatingConfig) -> Result<RatingResult> {
+    assert!(cfg.scale >= 2, "scale must have at least two points");
+    let labels: Vec<String> = (1..=cfg.scale).map(|s| s.to_string()).collect();
+    let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+    let cd = cc
+        .crowddata(&cfg.experiment)?
+        .data(items)?
+        .presenter(Presenter::text_label(&cfg.question, &label_refs))?
+        .publish(cfg.n_assignments)?
+        .collect()?;
+
+    let mut scores = Vec::with_capacity(cd.len());
+    let mut raw = Vec::with_capacity(cd.len());
+    for row in cd.rows() {
+        let mut ratings: Vec<u32> = row
+            .result
+            .as_ref()
+            .map(|r| {
+                r.runs
+                    .iter()
+                    .filter_map(|run| run.answer.as_str().and_then(|s| s.parse::<u32>().ok()))
+                    .filter(|&v| (1..=cfg.scale).contains(&v))
+                    .collect()
+            })
+            .unwrap_or_default();
+        ratings.sort_unstable();
+        scores.push(aggregate(&ratings, cfg.aggregation));
+        raw.push(ratings);
+    }
+    Ok(RatingResult { scores, raw, stats: cd.run_stats() })
+}
+
+/// Reduces sorted ratings to one number.
+fn aggregate(sorted: &[u32], how: RatingAggregation) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let mean = |xs: &[u32]| xs.iter().map(|&x| x as f64).sum::<f64>() / xs.len() as f64;
+    Some(match how {
+        RatingAggregation::Mean => mean(sorted),
+        RatingAggregation::Median => {
+            let n = sorted.len();
+            if n % 2 == 1 {
+                sorted[n / 2] as f64
+            } else {
+                (sorted[n / 2 - 1] as f64 + sorted[n / 2] as f64) / 2.0
+            }
+        }
+        RatingAggregation::TrimmedMean => {
+            if sorted.len() >= 3 {
+                mean(&sorted[1..sorted.len() - 1])
+            } else {
+                mean(sorted)
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reprowd_core::val;
+    use reprowd_platform::{CrowdPlatform, SimPlatform};
+    use std::sync::Arc;
+
+    fn ctx(ability: f64, seed: u64) -> CrowdContext {
+        let platform: Arc<dyn CrowdPlatform> = Arc::new(SimPlatform::quick(7, ability, seed));
+        CrowdContext::new(platform, Arc::new(reprowd_storage::MemoryStore::new())).unwrap()
+    }
+
+    /// Items whose true star rating is `1 + i % 5`.
+    fn items(n: usize, difficulty: f64) -> Vec<Value> {
+        (0..n)
+            .map(|i| {
+                val!({
+                    "photo": format!("p{i}.jpg"),
+                    "_sim": {"kind": "label", "truth": (i % 5), "labels": ["1", "2", "3", "4", "5"], "difficulty": difficulty}
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn perfect_raters_recover_true_scores() {
+        let cc = ctx(1.0, 1);
+        let mut cfg = RatingConfig::new("rate", "How many stars?");
+        cfg.aggregation = RatingAggregation::Mean;
+        let out = crowd_rate(&cc, items(10, 0.0), &cfg).unwrap();
+        for (i, s) in out.scores.iter().enumerate() {
+            assert_eq!(*s, Some((1 + i % 5) as f64));
+        }
+    }
+
+    #[test]
+    fn aggregate_mean_median_trimmed() {
+        assert_eq!(aggregate(&[1, 2, 3, 4, 5], RatingAggregation::Mean), Some(3.0));
+        assert_eq!(aggregate(&[1, 2, 3, 4, 5], RatingAggregation::Median), Some(3.0));
+        assert_eq!(aggregate(&[1, 2, 4, 4], RatingAggregation::Median), Some(3.0));
+        // Trim drops the 1 and the 5.
+        assert_eq!(aggregate(&[1, 3, 3, 3, 5], RatingAggregation::TrimmedMean), Some(3.0));
+        // Too few votes to trim: falls back to the mean.
+        assert_eq!(aggregate(&[2, 4], RatingAggregation::TrimmedMean), Some(3.0));
+        assert_eq!(aggregate(&[], RatingAggregation::Mean), None);
+    }
+
+    #[test]
+    fn trimmed_mean_blunts_outliers() {
+        // Ratings [1, 4, 4, 4, 5]: one lowballer, one fan.
+        let sorted = [1u32, 4, 4, 4, 5];
+        let mean = aggregate(&sorted, RatingAggregation::Mean).unwrap();
+        let trimmed = aggregate(&sorted, RatingAggregation::TrimmedMean).unwrap();
+        assert!((trimmed - 4.0).abs() < 1e-12);
+        assert!((mean - 3.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_raters_stay_close_on_average() {
+        let cc = ctx(0.8, 2);
+        let mut cfg = RatingConfig::new("rate-n", "Stars?");
+        cfg.n_assignments = 7;
+        let out = crowd_rate(&cc, items(20, 0.2), &cfg).unwrap();
+        let mut err = 0.0;
+        for (i, s) in out.scores.iter().enumerate() {
+            err += (s.unwrap() - (1 + i % 5) as f64).abs();
+        }
+        let mae = err / 20.0;
+        assert!(mae < 1.0, "mean absolute error {mae}");
+    }
+
+    #[test]
+    fn rerun_is_cached() {
+        let cc = ctx(0.9, 3);
+        let cfg = RatingConfig::new("rate-r", "Stars?");
+        let first = crowd_rate(&cc, items(6, 0.1), &cfg).unwrap();
+        let second = crowd_rate(&cc, items(6, 0.1), &cfg).unwrap();
+        assert_eq!(first.scores, second.scores);
+        assert_eq!(second.stats.tasks_published, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn degenerate_scale_rejected() {
+        let cc = ctx(0.9, 4);
+        let mut cfg = RatingConfig::new("rate-bad", "Stars?");
+        cfg.scale = 1;
+        let _ = crowd_rate(&cc, items(1, 0.0), &cfg);
+    }
+}

@@ -1,0 +1,186 @@
+//! Crowdsourced sort: pairwise comparisons + Copeland aggregation.
+//!
+//! The classic crowd-sort design (surveyed in Li et al., TKDE 2016): ask
+//! workers "which is better?" for item pairs, then rank items by their
+//! number of pairwise wins (Copeland score). A comparison budget trades
+//! accuracy for cost — experiment E11's sweep.
+
+use crate::join::pair_object;
+use reprowd_core::context::CrowdContext;
+use reprowd_core::error::Result;
+use reprowd_core::hash::fnv1a;
+use reprowd_core::presenter::Presenter;
+use reprowd_core::value::Value;
+
+/// Configuration of a crowd sort.
+#[derive(Debug, Clone)]
+pub struct CrowdSortConfig {
+    /// Experiment name (cache namespace).
+    pub experiment: String,
+    /// The comparison question.
+    pub question: String,
+    /// Redundancy per comparison.
+    pub n_assignments: u32,
+    /// Maximum number of item pairs to ask (None = all `n·(n-1)/2`).
+    /// When budgeted, pairs are chosen deterministically from the seed.
+    pub budget: Option<usize>,
+    /// Seed for budgeted pair selection.
+    pub seed: u64,
+}
+
+impl CrowdSortConfig {
+    /// All-pairs sort with 3 assignments.
+    pub fn new(experiment: &str, question: &str) -> Self {
+        CrowdSortConfig {
+            experiment: experiment.to_string(),
+            question: question.to_string(),
+            n_assignments: 3,
+            budget: None,
+            seed: 17,
+        }
+    }
+}
+
+/// Output of [`crowd_sort`].
+#[derive(Debug, Clone)]
+pub struct CrowdSortResult {
+    /// Item indices, best first.
+    pub order: Vec<usize>,
+    /// Copeland score (pairwise wins) per item.
+    pub wins: Vec<f64>,
+    /// Pairs actually compared.
+    pub compared: Vec<(usize, usize)>,
+    /// Cache-reuse statistics.
+    pub stats: reprowd_core::crowddata::RunStats,
+}
+
+/// Sorts `items` (descriptive strings) by crowd preference.
+pub fn crowd_sort(
+    cc: &CrowdContext,
+    items: &[String],
+    cfg: &CrowdSortConfig,
+    decorate: impl Fn(usize, usize, &mut Value),
+) -> Result<CrowdSortResult> {
+    let n = items.len();
+    let mut pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| (i + 1..n).map(move |j| (i, j)))
+        .collect();
+    if let Some(budget) = cfg.budget {
+        // Deterministic pseudo-random subset: order by seeded hash, take
+        // the first `budget`.
+        pairs.sort_by_key(|&(i, j)| fnv1a(format!("{}/{i}/{j}", cfg.seed).as_bytes()));
+        pairs.truncate(budget);
+        pairs.sort_unstable();
+    }
+
+    let mut wins = vec![0.0f64; n];
+    let mut stats = reprowd_core::crowddata::RunStats::default();
+    if !pairs.is_empty() {
+        let objects: Vec<Value> = pairs
+            .iter()
+            .map(|&(i, j)| pair_object(i, j, &items[i], &items[j], &decorate))
+            .collect();
+        let cd = cc
+            .crowddata(&cfg.experiment)?
+            .data(objects)?
+            .presenter(Presenter::pair_compare(&cfg.question))?
+            .publish(cfg.n_assignments)?
+            .collect()?
+            .majority_vote()?;
+        let mv = cd.column("mv")?;
+        for (&(i, j), verdict) in pairs.iter().zip(&mv) {
+            match verdict {
+                Value::String(s) if s == "first" => wins[i] += 1.0,
+                Value::String(s) if s == "second" => wins[j] += 1.0,
+                // Unresolved comparison: half a win each.
+                _ => {
+                    wins[i] += 0.5;
+                    wins[j] += 0.5;
+                }
+            }
+        }
+        stats = cd.run_stats();
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        wins[b].partial_cmp(&wins[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    Ok(CrowdSortResult { order, wins, compared: pairs, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reprowd_core::val;
+
+    /// Items with latent scores 0..n (higher index = better), and an oracle
+    /// hook embedding near-deterministic Bradley–Terry comparisons.
+    fn setup(n: usize) -> (Vec<String>, impl Fn(usize, usize, &mut Value)) {
+        let items: Vec<String> = (0..n).map(|i| format!("photo {i}")).collect();
+        let hook = move |i: usize, j: usize, obj: &mut Value| {
+            // score = index; temperature small => decisive comparisons.
+            let p_first = 1.0 / (1.0 + (-((i as f64) - (j as f64)) / 0.25).exp());
+            obj["_sim"] = val!({"kind": "compare", "p_first": p_first});
+        };
+        (items, hook)
+    }
+
+    #[test]
+    fn all_pairs_sort_recovers_true_order() {
+        let cc = CrowdContext::in_memory_sim(71);
+        let (items, hook) = setup(6);
+        let cfg = CrowdSortConfig::new("sort", "Which is better?");
+        let out = crowd_sort(&cc, &items, &cfg, hook).unwrap();
+        assert_eq!(out.order, vec![5, 4, 3, 2, 1, 0]);
+        assert_eq!(out.compared.len(), 15);
+    }
+
+    #[test]
+    fn budget_reduces_comparisons() {
+        let cc = CrowdContext::in_memory_sim(72);
+        let (items, hook) = setup(8);
+        let mut cfg = CrowdSortConfig::new("sort-b", "Which is better?");
+        cfg.budget = Some(10);
+        let out = crowd_sort(&cc, &items, &cfg, hook).unwrap();
+        assert_eq!(out.compared.len(), 10);
+        assert_eq!(out.order.len(), 8);
+    }
+
+    #[test]
+    fn budget_selection_is_deterministic() {
+        let (items, _) = setup(8);
+        let select = |seed: u64| {
+            let cc = CrowdContext::in_memory_sim(73);
+            let (_, hook) = setup(8);
+            let mut cfg = CrowdSortConfig::new("sort-d", "Q?");
+            cfg.budget = Some(6);
+            cfg.seed = seed;
+            crowd_sort(&cc, &items, &cfg, hook).unwrap().compared
+        };
+        assert_eq!(select(1), select(1));
+        assert_ne!(select(1), select(2));
+    }
+
+    #[test]
+    fn empty_and_single_item() {
+        let cc = CrowdContext::in_memory_sim(74);
+        let cfg = CrowdSortConfig::new("sort-e", "Q?");
+        let out = crowd_sort(&cc, &[], &cfg, crate::no_sim).unwrap();
+        assert!(out.order.is_empty());
+        let out = crowd_sort(&cc, &["only".to_string()], &cfg, crate::no_sim).unwrap();
+        assert_eq!(out.order, vec![0]);
+        assert!(out.compared.is_empty());
+    }
+
+    #[test]
+    fn rerun_is_cached() {
+        let cc = CrowdContext::in_memory_sim(75);
+        let (items, hook) = setup(5);
+        let cfg = CrowdSortConfig::new("sort-r", "Q?");
+        let first = crowd_sort(&cc, &items, &cfg, &hook).unwrap();
+        let second = crowd_sort(&cc, &items, &cfg, &hook).unwrap();
+        assert_eq!(first.order, second.order);
+        assert_eq!(second.stats.tasks_published, 0);
+    }
+}

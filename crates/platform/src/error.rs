@@ -1,0 +1,51 @@
+//! Platform error type.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by a crowdsourcing platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Referenced project does not exist.
+    UnknownProject(u64),
+    /// Referenced task does not exist.
+    UnknownTask(u64),
+    /// The simulation cannot make progress (e.g. every worker already did
+    /// every open task and redundancy is still unmet).
+    Starved(String),
+    /// A malformed request (e.g. zero assignments requested).
+    InvalidRequest(String),
+    /// Injected by [`FailingPlatform`](crate::failing::FailingPlatform) to
+    /// emulate a crash mid-experiment.
+    Injected(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownProject(id) => write!(f, "unknown project {id}"),
+            Error::UnknownTask(id) => write!(f, "unknown task {id}"),
+            Error::Starved(msg) => write!(f, "simulation starved: {msg}"),
+            Error::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            Error::Injected(msg) => write!(f, "injected fault: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(Error::UnknownProject(3).to_string().contains('3'));
+        assert!(Error::UnknownTask(9).to_string().contains('9'));
+        assert!(Error::Starved("x".into()).to_string().contains("starved"));
+        assert!(Error::InvalidRequest("y".into()).to_string().contains("invalid"));
+        assert!(Error::Injected("z".into()).to_string().contains("fault"));
+    }
+}

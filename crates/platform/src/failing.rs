@@ -1,0 +1,162 @@
+//! Fault injection: a platform wrapper that fails after a call budget.
+//!
+//! The paper's sharable requirement is about surviving crashes *mid-
+//! experiment*. [`FailingPlatform`] wraps any [`CrowdPlatform`] and makes
+//! every API call after the first `budget` return [`Error::Injected`] —
+//! emulating the process dying between "published task 57" and "published
+//! task 58". The crash-recovery experiment (E4) reruns the experiment over
+//! the same store afterwards and verifies only the remaining work happens.
+
+use crate::error::{Error, Result};
+use crate::platform::CrowdPlatform;
+use crate::types::{Project, ProjectId, SimTime, Task, TaskId, TaskRun, TaskSpec};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Wraps a platform; API calls beyond `budget` fail with
+/// [`Error::Injected`]. `step` and reads of the clock never fail — the
+/// crash is the *client's* crash, not the crowd's.
+pub struct FailingPlatform<P> {
+    inner: Arc<P>,
+    budget: AtomicU64,
+}
+
+impl<P: CrowdPlatform> FailingPlatform<P> {
+    /// Allows `budget` API calls before failing.
+    pub fn new(inner: Arc<P>, budget: u64) -> Self {
+        FailingPlatform { inner, budget: AtomicU64::new(budget) }
+    }
+
+    /// Replenishes the budget (e.g. "the process restarted").
+    pub fn reset_budget(&self, budget: u64) {
+        self.budget.store(budget, Ordering::SeqCst);
+    }
+
+    /// Remaining allowed calls.
+    pub fn remaining(&self) -> u64 {
+        self.budget.load(Ordering::SeqCst)
+    }
+
+    /// The wrapped platform.
+    pub fn inner(&self) -> &Arc<P> {
+        &self.inner
+    }
+
+    fn charge(&self) -> Result<()> {
+        // Decrement-if-positive without underflow.
+        loop {
+            let cur = self.budget.load(Ordering::SeqCst);
+            if cur == 0 {
+                return Err(Error::Injected("API-call budget exhausted".into()));
+            }
+            if self
+                .budget
+                .compare_exchange(cur, cur - 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return Ok(());
+            }
+        }
+    }
+}
+
+impl<P: CrowdPlatform> CrowdPlatform for FailingPlatform<P> {
+    fn name(&self) -> &str {
+        "failing"
+    }
+
+    fn create_project(&self, name: &str) -> Result<ProjectId> {
+        self.charge()?;
+        self.inner.create_project(name)
+    }
+
+    fn project(&self, id: ProjectId) -> Result<Project> {
+        self.inner.project(id)
+    }
+
+    fn publish_task(&self, project: ProjectId, spec: TaskSpec) -> Result<Task> {
+        self.charge()?;
+        self.inner.publish_task(project, spec)
+    }
+
+    fn task(&self, id: TaskId) -> Result<Task> {
+        self.charge()?;
+        self.inner.task(id)
+    }
+
+    fn fetch_runs(&self, task: TaskId) -> Result<Vec<TaskRun>> {
+        self.charge()?;
+        self.inner.fetch_runs(task)
+    }
+
+    fn is_complete(&self, task: TaskId) -> Result<bool> {
+        self.inner.is_complete(task)
+    }
+
+    fn step(&self) -> Result<bool> {
+        self.inner.step()
+    }
+
+    fn api_calls(&self) -> u64 {
+        self.inner.api_calls()
+    }
+
+    fn now(&self) -> SimTime {
+        self.inner.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mock::MockPlatform;
+
+    #[test]
+    fn fails_after_budget() {
+        let p = FailingPlatform::new(Arc::new(MockPlatform::echo()), 3);
+        let proj = p.create_project("x").unwrap(); // 1
+        let spec = || TaskSpec { payload: serde_json::json!(1), n_assignments: 1 };
+        p.publish_task(proj, spec()).unwrap(); // 2
+        p.publish_task(proj, spec()).unwrap(); // 3
+        let err = p.publish_task(proj, spec()).unwrap_err();
+        assert!(matches!(err, Error::Injected(_)));
+        assert_eq!(p.remaining(), 0);
+    }
+
+    #[test]
+    fn partial_publish_leaves_prefix_on_platform() {
+        // Publishing 5 tasks with budget 1+3: the project plus three tasks
+        // land; the rest fail. Exactly the crash-mid-step-3 scenario.
+        let inner = Arc::new(MockPlatform::echo());
+        let p = FailingPlatform::new(Arc::clone(&inner), 4);
+        let proj = p.create_project("x").unwrap();
+        let specs: Vec<TaskSpec> = (0..5)
+            .map(|i| TaskSpec { payload: serde_json::json!(i), n_assignments: 1 })
+            .collect();
+        let err = p.publish_tasks(proj, specs).unwrap_err();
+        assert!(matches!(err, Error::Injected(_)));
+        // Three tasks made it to the real platform before the "crash".
+        assert_eq!(inner.api_calls(), 4); // create + 3 publishes
+    }
+
+    #[test]
+    fn reset_budget_resumes() {
+        let p = FailingPlatform::new(Arc::new(MockPlatform::echo()), 1);
+        let proj = p.create_project("x").unwrap();
+        assert!(p
+            .publish_task(proj, TaskSpec { payload: serde_json::json!(1), n_assignments: 1 })
+            .is_err());
+        p.reset_budget(10);
+        assert!(p
+            .publish_task(proj, TaskSpec { payload: serde_json::json!(1), n_assignments: 1 })
+            .is_ok());
+    }
+
+    #[test]
+    fn step_and_clock_never_charged() {
+        let p = FailingPlatform::new(Arc::new(MockPlatform::echo()), 0);
+        assert!(!p.step().unwrap());
+        let _ = p.now();
+        assert_eq!(p.remaining(), 0);
+    }
+}

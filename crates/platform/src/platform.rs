@@ -1,0 +1,127 @@
+//! The [`CrowdPlatform`] trait — what Reprowd's client library codes against.
+//!
+//! Mirrors the subset of the PyBossa API the original system uses:
+//! create a project, publish tasks into it, poll for completion, fetch task
+//! runs. Two additions serve the reproduction:
+//!
+//! * **API-call accounting** ([`CrowdPlatform::api_calls`]) — the paper's
+//!   sharable property is "rerunning Bob's code issues no new crowd work",
+//!   which the experiments verify by counting calls.
+//! * **Explicit progress** ([`CrowdPlatform::step`]) — a simulated crowd
+//!   produces answers only when the event loop advances; a real platform
+//!   would return `false` ("nothing to do locally") and rely on wall-clock
+//!   polling.
+
+use crate::error::{Error, Result};
+use crate::types::{Project, ProjectId, SimTime, Task, TaskId, TaskRun, TaskSpec};
+
+/// A crowdsourcing platform: projects, tasks, task runs.
+///
+/// All methods take `&self`; implementations are internally synchronized so
+/// a `CrowdContext` can be shared across operator pipelines.
+pub trait CrowdPlatform: Send + Sync {
+    /// Implementation name (for manifests/logs).
+    fn name(&self) -> &str;
+
+    /// Creates a project and returns its id. Counts as one API call.
+    fn create_project(&self, name: &str) -> Result<ProjectId>;
+
+    /// Looks up a project.
+    fn project(&self, id: ProjectId) -> Result<Project>;
+
+    /// Publishes one task. Counts as one API call.
+    fn publish_task(&self, project: ProjectId, spec: TaskSpec) -> Result<Task>;
+
+    /// Publishes many tasks; default = sequential [`publish_task`] calls,
+    /// failing fast on the first error (tasks already accepted stay
+    /// accepted — exactly how a remote API behaves when the client dies
+    /// mid-loop, which the crash experiments rely on).
+    ///
+    /// [`publish_task`]: CrowdPlatform::publish_task
+    fn publish_tasks(&self, project: ProjectId, specs: Vec<TaskSpec>) -> Result<Vec<Task>> {
+        let mut out = Vec::with_capacity(specs.len());
+        for spec in specs {
+            out.push(self.publish_task(project, spec)?);
+        }
+        Ok(out)
+    }
+
+    /// Fetches a task's current state. Counts as one API call.
+    fn task(&self, id: TaskId) -> Result<Task>;
+
+    /// Fetches all runs collected for a task so far. Counts as one API call.
+    fn fetch_runs(&self, task: TaskId) -> Result<Vec<TaskRun>>;
+
+    /// True if the task has met its redundancy target.
+    fn is_complete(&self, task: TaskId) -> Result<bool>;
+
+    /// Makes internal progress (simulated crowd work). Returns `false` when
+    /// there is nothing further to process. Not an API call.
+    fn step(&self) -> Result<bool>;
+
+    /// Drives [`step`](CrowdPlatform::step) until every listed task is
+    /// complete. Errors with [`Error::Starved`] if progress stalls first.
+    fn run_until_complete(&self, tasks: &[TaskId]) -> Result<()> {
+        loop {
+            let mut all_done = true;
+            for &t in tasks {
+                if !self.is_complete(t)? {
+                    all_done = false;
+                    break;
+                }
+            }
+            if all_done {
+                return Ok(());
+            }
+            if !self.step()? {
+                return Err(Error::Starved(format!(
+                    "no further progress possible with {} tasks still open",
+                    tasks.len()
+                )));
+            }
+        }
+    }
+
+    /// Number of API calls served so far (project creation, publishes,
+    /// task/run fetches). The reproducibility experiments' core metric.
+    fn api_calls(&self) -> u64;
+
+    /// Current platform clock (simulated milliseconds).
+    fn now(&self) -> SimTime;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mock::MockPlatform;
+
+    #[test]
+    fn default_publish_tasks_is_sequential() {
+        let p = MockPlatform::echo();
+        let proj = p.create_project("t").unwrap();
+        let specs: Vec<TaskSpec> = (0..4)
+            .map(|i| TaskSpec { payload: serde_json::json!({ "i": i }), n_assignments: 1 })
+            .collect();
+        let tasks = p.publish_tasks(proj, specs).unwrap();
+        assert_eq!(tasks.len(), 4);
+        // ids are distinct and ascending
+        for w in tasks.windows(2) {
+            assert!(w[0].id < w[1].id);
+        }
+    }
+
+    #[test]
+    fn run_until_complete_on_mock() {
+        let p = MockPlatform::echo();
+        let proj = p.create_project("t").unwrap();
+        let t = p
+            .publish_task(
+                proj,
+                TaskSpec { payload: serde_json::json!("x"), n_assignments: 2 },
+            )
+            .unwrap();
+        p.run_until_complete(&[t.id]).unwrap();
+        assert!(p.is_complete(t.id).unwrap());
+        assert_eq!(p.fetch_runs(t.id).unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,420 @@
+//! The discrete-event simulation engine behind [`SimPlatform`].
+//!
+//! One [`step`](crate::CrowdPlatform::step) pops the worker with the
+//! earliest availability, assigns them the oldest open task they have not
+//! yet answered, samples their think-time and answer (or abandonment), and
+//! advances the simulated clock. Everything is driven by one seeded RNG, so
+//! a `(pool, seed, publish-order)` triple determines every task run —
+//! timestamps, worker ids, and answers — exactly.
+
+use crate::error::{Error, Result};
+use crate::platform::CrowdPlatform;
+use crate::sim::answer::AnswerModel;
+use crate::sim::latency::lognormal;
+use crate::sim::worker::WorkerPool;
+use crate::types::{
+    Project, ProjectId, SimTime, Task, TaskId, TaskRun, TaskSpec, TaskStatus, WorkerId,
+};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Configuration of a simulated platform.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The worker roster.
+    pub pool: WorkerPool,
+    /// RNG seed; with the same seed and call sequence, the simulation is
+    /// bit-for-bit reproducible.
+    pub seed: u64,
+}
+
+struct SimState {
+    projects: HashMap<ProjectId, Project>,
+    tasks: HashMap<TaskId, Task>,
+    runs: HashMap<TaskId, Vec<TaskRun>>,
+    /// Workers who already *submitted* a run for the task (the platform
+    /// invariant: at most one run per worker per task).
+    answered_by: HashMap<TaskId, HashSet<WorkerId>>,
+    /// Open tasks in publish order (FIFO assignment).
+    open: Vec<TaskId>,
+    /// Workers ready to pick up tasks, keyed by availability time.
+    available: BinaryHeap<Reverse<(SimTime, WorkerId)>>,
+    /// Workers parked because no eligible task existed when they came up.
+    parked: Vec<(WorkerId, SimTime)>,
+    clock: SimTime,
+    rng: StdRng,
+    next_project: ProjectId,
+    next_task: TaskId,
+}
+
+/// The simulated crowdsourcing platform.
+pub struct SimPlatform {
+    state: Mutex<SimState>,
+    pool: WorkerPool,
+    calls: AtomicU64,
+}
+
+impl SimPlatform {
+    /// Creates a platform with the given worker pool and seed.
+    pub fn new(config: SimConfig) -> Self {
+        let mut available = BinaryHeap::new();
+        for (i, w) in config.pool.workers.iter().enumerate() {
+            // Tiny stagger so initial pickup order interleaves naturally.
+            available.push(Reverse((i as SimTime, w.id)));
+        }
+        SimPlatform {
+            state: Mutex::new(SimState {
+                projects: HashMap::new(),
+                tasks: HashMap::new(),
+                runs: HashMap::new(),
+                answered_by: HashMap::new(),
+                open: Vec::new(),
+                available,
+                parked: Vec::new(),
+                clock: 0,
+                rng: StdRng::seed_from_u64(config.seed),
+                next_project: 1,
+                next_task: 1,
+            }),
+            pool: config.pool,
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// Convenience constructor: `n` identical workers of `ability`.
+    pub fn quick(n_workers: usize, ability: f64, seed: u64) -> Self {
+        SimPlatform::new(SimConfig { pool: WorkerPool::uniform(n_workers, ability), seed })
+    }
+
+    /// The roster this platform simulates.
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    fn bump(&self) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn profile(&self, id: WorkerId) -> &crate::sim::worker::WorkerProfile {
+        self.pool.workers.iter().find(|w| w.id == id).expect("worker in pool")
+    }
+}
+
+impl CrowdPlatform for SimPlatform {
+    fn name(&self) -> &str {
+        "sim"
+    }
+
+    fn create_project(&self, name: &str) -> Result<ProjectId> {
+        self.bump();
+        let mut s = self.state.lock();
+        let id = s.next_project;
+        s.next_project += 1;
+        let created_at = s.clock;
+        s.projects.insert(id, Project { id, name: name.to_string(), created_at });
+        Ok(id)
+    }
+
+    fn project(&self, id: ProjectId) -> Result<Project> {
+        self.state.lock().projects.get(&id).cloned().ok_or(Error::UnknownProject(id))
+    }
+
+    fn publish_task(&self, project: ProjectId, spec: TaskSpec) -> Result<Task> {
+        self.bump();
+        if spec.n_assignments == 0 {
+            return Err(Error::InvalidRequest("n_assignments must be positive".into()));
+        }
+        if spec.n_assignments as usize > self.pool.len() {
+            return Err(Error::InvalidRequest(format!(
+                "n_assignments {} exceeds pool size {}",
+                spec.n_assignments,
+                self.pool.len()
+            )));
+        }
+        let mut s = self.state.lock();
+        if !s.projects.contains_key(&project) {
+            return Err(Error::UnknownProject(project));
+        }
+        let id = s.next_task;
+        s.next_task += 1;
+        let task = Task {
+            id,
+            project_id: project,
+            payload: spec.payload,
+            n_assignments: spec.n_assignments,
+            published_at: s.clock,
+            status: TaskStatus::Open,
+        };
+        s.tasks.insert(id, task.clone());
+        s.runs.insert(id, Vec::new());
+        s.answered_by.insert(id, HashSet::new());
+        s.open.push(id);
+        // New work: parked workers become eligible again.
+        let clock = s.clock;
+        let parked = std::mem::take(&mut s.parked);
+        for (w, at) in parked {
+            s.available.push(Reverse((at.max(clock), w)));
+        }
+        Ok(task)
+    }
+
+    fn task(&self, id: TaskId) -> Result<Task> {
+        self.bump();
+        self.state.lock().tasks.get(&id).cloned().ok_or(Error::UnknownTask(id))
+    }
+
+    fn fetch_runs(&self, task: TaskId) -> Result<Vec<TaskRun>> {
+        self.bump();
+        self.state.lock().runs.get(&task).cloned().ok_or(Error::UnknownTask(task))
+    }
+
+    fn is_complete(&self, task: TaskId) -> Result<bool> {
+        let s = self.state.lock();
+        let t = s.tasks.get(&task).ok_or(Error::UnknownTask(task))?;
+        Ok(t.status == TaskStatus::Completed)
+    }
+
+    fn step(&self) -> Result<bool> {
+        let mut s = self.state.lock();
+        if s.open.is_empty() {
+            return Ok(false);
+        }
+        // Pop workers until one can be matched with an open task.
+        while let Some(Reverse((avail_at, worker_id))) = s.available.pop() {
+            // Oldest open task this worker has not answered.
+            let open_snapshot = s.open.clone();
+            let eligible = open_snapshot
+                .iter()
+                .copied()
+                .find(|tid| !s.answered_by[tid].contains(&worker_id));
+            let Some(task_id) = eligible else {
+                s.parked.push((worker_id, avail_at));
+                continue;
+            };
+
+            s.clock = s.clock.max(avail_at);
+            let assigned_at = s.clock;
+            let profile = self.profile(worker_id).clone();
+            let think_ms =
+                lognormal(&mut s.rng, profile.speed_median_ms.max(1.0), profile.speed_sigma)
+                    .ceil()
+                    .max(1.0) as SimTime;
+            let submitted_at = assigned_at + think_ms;
+
+            let abandons = s.rng.gen::<f64>() < profile.abandon_p;
+            if abandons {
+                // The worker wastes the time but submits nothing; the slot
+                // stays open and the worker may retry later.
+                s.available.push(Reverse((submitted_at, worker_id)));
+                return Ok(true);
+            }
+
+            let task = s.tasks.get(&task_id).cloned().ok_or(Error::UnknownTask(task_id))?;
+            let answer = match AnswerModel::extract(&task.payload) {
+                Some(model) => model.sample(&profile, &mut s.rng),
+                // Payloads without a model get an opaque echo answer, so
+                // plumbing tests don't need to construct models.
+                None => serde_json::json!({ "echo": task.payload }),
+            };
+            s.runs.get_mut(&task_id).expect("runs exist").push(TaskRun {
+                task_id,
+                worker_id,
+                answer,
+                assigned_at,
+                submitted_at,
+            });
+            s.answered_by.get_mut(&task_id).expect("set exists").insert(worker_id);
+
+            let done = s.runs[&task_id].len() as u32 >= task.n_assignments;
+            if done {
+                s.tasks.get_mut(&task_id).expect("task exists").status = TaskStatus::Completed;
+                s.open.retain(|&t| t != task_id);
+                // Task list changed: parked workers may now have work.
+                let clock = s.clock;
+                let parked = std::mem::take(&mut s.parked);
+                for (w, at) in parked {
+                    s.available.push(Reverse((at.max(clock), w)));
+                }
+            }
+            s.available.push(Reverse((submitted_at, worker_id)));
+            return Ok(true);
+        }
+        // Every worker is parked: redundancy cannot be met.
+        Ok(false)
+    }
+
+    fn api_calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    fn now(&self) -> SimTime {
+        self.state.lock().clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn label_spec(truth: usize, n: u32) -> TaskSpec {
+        let model = AnswerModel::Label {
+            truth,
+            labels: vec!["Yes".into(), "No".into()],
+            difficulty: 0.0,
+        };
+        TaskSpec { payload: model.embed(serde_json::json!({"url": "img.jpg"})), n_assignments: n }
+    }
+
+    #[test]
+    fn completes_tasks_with_redundancy() {
+        let p = SimPlatform::quick(5, 1.0, 1);
+        let proj = p.create_project("exp").unwrap();
+        let t = p.publish_task(proj, label_spec(0, 3)).unwrap();
+        p.run_until_complete(&[t.id]).unwrap();
+        let runs = p.fetch_runs(t.id).unwrap();
+        assert_eq!(runs.len(), 3);
+        assert!(runs.iter().all(|r| r.answer == serde_json::json!("Yes")));
+    }
+
+    #[test]
+    fn distinct_workers_per_task() {
+        let p = SimPlatform::quick(4, 0.9, 2);
+        let proj = p.create_project("exp").unwrap();
+        let t = p.publish_task(proj, label_spec(0, 4)).unwrap();
+        p.run_until_complete(&[t.id]).unwrap();
+        let runs = p.fetch_runs(t.id).unwrap();
+        let workers: HashSet<WorkerId> = runs.iter().map(|r| r.worker_id).collect();
+        assert_eq!(workers.len(), 4, "each run from a distinct worker");
+    }
+
+    #[test]
+    fn redundancy_larger_than_pool_rejected() {
+        let p = SimPlatform::quick(2, 0.9, 3);
+        let proj = p.create_project("exp").unwrap();
+        let err = p.publish_task(proj, label_spec(0, 3)).unwrap_err();
+        assert!(matches!(err, Error::InvalidRequest(_)));
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let run = |seed: u64| {
+            let p = SimPlatform::quick(6, 0.8, seed);
+            let proj = p.create_project("exp").unwrap();
+            let mut ids = Vec::new();
+            for i in 0..10 {
+                ids.push(p.publish_task(proj, label_spec(i % 2, 3)).unwrap().id);
+            }
+            p.run_until_complete(&ids).unwrap();
+            ids.iter().map(|&t| p.fetch_runs(t).unwrap()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn timestamps_monotone_and_positive_latency() {
+        let p = SimPlatform::quick(3, 0.9, 4);
+        let proj = p.create_project("exp").unwrap();
+        let t = p.publish_task(proj, label_spec(0, 3)).unwrap();
+        p.run_until_complete(&[t.id]).unwrap();
+        for r in p.fetch_runs(t.id).unwrap() {
+            assert!(r.assigned_at >= t.published_at);
+            assert!(r.submitted_at > r.assigned_at);
+        }
+    }
+
+    #[test]
+    fn per_worker_serialization() {
+        // One worker answering two tasks must do so at non-overlapping times.
+        let p = SimPlatform::quick(1, 0.9, 5);
+        let proj = p.create_project("exp").unwrap();
+        let t1 = p.publish_task(proj, label_spec(0, 1)).unwrap();
+        let t2 = p.publish_task(proj, label_spec(1, 1)).unwrap();
+        p.run_until_complete(&[t1.id, t2.id]).unwrap();
+        let r1 = &p.fetch_runs(t1.id).unwrap()[0];
+        let r2 = &p.fetch_runs(t2.id).unwrap()[0];
+        assert!(r2.assigned_at >= r1.submitted_at || r1.assigned_at >= r2.submitted_at);
+    }
+
+    #[test]
+    fn step_false_when_no_open_tasks() {
+        let p = SimPlatform::quick(2, 0.9, 6);
+        assert!(!p.step().unwrap());
+    }
+
+    #[test]
+    fn spammers_answer_at_chance() {
+        let p = SimPlatform::quick(1, 0.5, 7);
+        let proj = p.create_project("exp").unwrap();
+        let mut yes = 0;
+        let mut ids = Vec::new();
+        for _ in 0..400 {
+            ids.push(p.publish_task(proj, label_spec(0, 1)).unwrap().id);
+        }
+        p.run_until_complete(&ids).unwrap();
+        for id in ids {
+            if p.fetch_runs(id).unwrap()[0].answer == serde_json::json!("Yes") {
+                yes += 1;
+            }
+        }
+        let frac = yes as f64 / 400.0;
+        assert!((frac - 0.5).abs() < 0.1, "spammer accuracy {frac}");
+    }
+
+    #[test]
+    fn abandonment_delays_but_completes() {
+        let pool = WorkerPool::new(
+            (1..=3u64)
+                .map(|id| {
+                    let mut w = crate::sim::worker::WorkerProfile::with_ability(id, 0.9);
+                    w.abandon_p = 0.4;
+                    w
+                })
+                .collect(),
+        );
+        let p = SimPlatform::new(SimConfig { pool, seed: 8 });
+        let proj = p.create_project("exp").unwrap();
+        let t = p.publish_task(proj, label_spec(0, 3)).unwrap();
+        p.run_until_complete(&[t.id]).unwrap();
+        assert_eq!(p.fetch_runs(t.id).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn echo_answer_for_modelless_payload() {
+        let p = SimPlatform::quick(1, 0.9, 9);
+        let proj = p.create_project("exp").unwrap();
+        let t = p
+            .publish_task(
+                proj,
+                TaskSpec { payload: serde_json::json!({"raw": true}), n_assignments: 1 },
+            )
+            .unwrap();
+        p.run_until_complete(&[t.id]).unwrap();
+        let run = &p.fetch_runs(t.id).unwrap()[0];
+        assert_eq!(run.answer["echo"]["raw"], serde_json::json!(true));
+    }
+
+    #[test]
+    fn clock_advances_with_work() {
+        let p = SimPlatform::quick(2, 0.9, 10);
+        let proj = p.create_project("exp").unwrap();
+        assert_eq!(p.now(), 0);
+        let t = p.publish_task(proj, label_spec(0, 2)).unwrap();
+        p.run_until_complete(&[t.id]).unwrap();
+        assert!(p.now() > 0);
+    }
+
+    #[test]
+    fn api_calls_counted() {
+        let p = SimPlatform::quick(2, 0.9, 11);
+        let proj = p.create_project("exp").unwrap(); // 1
+        let t = p.publish_task(proj, label_spec(0, 1)).unwrap(); // 2
+        p.run_until_complete(&[t.id]).unwrap(); // steps: free
+        let _ = p.fetch_runs(t.id).unwrap(); // 3
+        assert_eq!(p.api_calls(), 3);
+    }
+}

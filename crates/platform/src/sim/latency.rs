@@ -1,0 +1,94 @@
+//! Latency distributions for worker think-time, built on `rand` only.
+//!
+//! Real crowd workers exhibit heavy-tailed task latencies; the usual model
+//! is log-normal. We implement the samplers from first principles
+//! (inverse-CDF for the exponential, Box–Muller for the normal underlying
+//! the log-normal) rather than pulling a distributions crate.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Exponential sample with the given mean (inverse-CDF method).
+pub fn exponential(rng: &mut StdRng, mean: f64) -> f64 {
+    assert!(mean > 0.0, "mean must be positive");
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -mean * u.ln()
+}
+
+/// Standard normal sample via Box–Muller.
+pub fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Log-normal sample parameterized by the *median* (`exp(mu)`) and shape
+/// `sigma` of the underlying normal.
+pub fn lognormal(rng: &mut StdRng, median: f64, sigma: f64) -> f64 {
+    assert!(median > 0.0, "median must be positive");
+    assert!(sigma >= 0.0, "sigma must be non-negative");
+    (median.ln() + sigma * standard_normal(rng)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut r = rng();
+        let n = 20_000;
+        let mean = 500.0;
+        let sum: f64 = (0..n).map(|_| exponential(&mut r, mean)).sum();
+        let emp = sum / n as f64;
+        assert!((emp - mean).abs() / mean < 0.05, "empirical mean {emp}");
+    }
+
+    #[test]
+    fn exponential_nonnegative() {
+        let mut r = rng();
+        assert!((0..1000).all(|_| exponential(&mut r, 1.0) >= 0.0));
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median_close() {
+        let mut r = rng();
+        let n = 20_001;
+        let mut samples: Vec<f64> = (0..n).map(|_| lognormal(&mut r, 800.0, 0.75)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = samples[n / 2];
+        assert!((med - 800.0).abs() / 800.0 < 0.08, "median {med}");
+        assert!(samples[0] > 0.0);
+    }
+
+    #[test]
+    fn lognormal_zero_sigma_is_constant() {
+        let mut r = rng();
+        for _ in 0..10 {
+            let x = lognormal(&mut r, 100.0, 0.0);
+            assert!((x - 100.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_rejects_bad_mean() {
+        exponential(&mut rng(), 0.0);
+    }
+}

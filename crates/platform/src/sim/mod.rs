@@ -1,0 +1,6 @@
+//! The simulated crowd: worker models, answer models, and the event loop.
+
+pub mod answer;
+pub mod engine;
+pub mod latency;
+pub mod worker;

@@ -1,0 +1,181 @@
+//! Worker profiles and pool builders.
+//!
+//! A [`WorkerProfile`] captures the parameters the crowdsourcing literature
+//! uses to describe annotators: a scalar *ability* (probability of a
+//! correct answer on an unambiguous binary task), an optional *bias* toward
+//! one label, a latency distribution, and an *abandonment* probability
+//! (accepting a task and never submitting). [`WorkerPool`] builders produce
+//! the standard population mixes the quality-control experiments sweep:
+//! experts, average workers, spammers, and adversarial/biased workers.
+
+use crate::types::WorkerId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Behavioural parameters of one simulated worker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerProfile {
+    /// Stable id reported in task runs (lineage!).
+    pub id: WorkerId,
+    /// Probability of answering an easy task correctly, in `[0, 1]`.
+    /// 0.5 = spammer (coin flip) on binary tasks; < 0.5 = adversarial.
+    pub ability: f64,
+    /// If set, `(label, strength)`: with probability `strength` the worker
+    /// answers `label` regardless of the truth (systematic bias the
+    /// Dawid–Skene experiments need).
+    pub bias: Option<(usize, f64)>,
+    /// Median think-time per task, milliseconds.
+    pub speed_median_ms: f64,
+    /// Log-normal shape of the think-time.
+    pub speed_sigma: f64,
+    /// Probability of abandoning an accepted task (no run submitted).
+    pub abandon_p: f64,
+}
+
+impl WorkerProfile {
+    /// A well-behaved worker with the given id and ability and default
+    /// latency (median 30 s, σ 0.6, no bias, 2% abandonment).
+    pub fn with_ability(id: WorkerId, ability: f64) -> Self {
+        WorkerProfile {
+            id,
+            ability,
+            bias: None,
+            speed_median_ms: 30_000.0,
+            speed_sigma: 0.6,
+            abandon_p: 0.02,
+        }
+    }
+}
+
+/// An immutable roster of workers for one simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerPool {
+    /// The roster; ids are unique.
+    pub workers: Vec<WorkerProfile>,
+}
+
+impl WorkerPool {
+    /// Builds a pool from explicit profiles.
+    ///
+    /// # Panics
+    /// Panics if ids repeat — a roster with duplicate identities would
+    /// corrupt the one-run-per-worker-per-task invariant.
+    pub fn new(workers: Vec<WorkerProfile>) -> Self {
+        let mut ids: Vec<WorkerId> = workers.iter().map(|w| w.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), workers.len(), "duplicate worker ids in pool");
+        WorkerPool { workers }
+    }
+
+    /// `n` identical workers of the given ability (ids `1..=n`).
+    pub fn uniform(n: usize, ability: f64) -> Self {
+        WorkerPool::new(
+            (1..=n as u64).map(|id| WorkerProfile::with_ability(id, ability)).collect(),
+        )
+    }
+
+    /// The standard experimental mixture: `experts` at ~0.95, `normal` at
+    /// ~0.8, `spammers` at 0.5. Abilities are jittered ±0.03 (seeded) so
+    /// workers are distinguishable to EM.
+    pub fn mixture(experts: usize, normal: usize, spammers: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut workers = Vec::with_capacity(experts + normal + spammers);
+        let mut id: WorkerId = 1;
+        let push = |workers: &mut Vec<WorkerProfile>, id: &mut WorkerId, base: f64, rng: &mut StdRng| {
+            let jitter: f64 = (rng.gen::<f64>() - 0.5) * 0.06;
+            let ability = (base + jitter).clamp(0.0, 1.0);
+            workers.push(WorkerProfile::with_ability(*id, ability));
+            *id += 1;
+        };
+        for _ in 0..experts {
+            push(&mut workers, &mut id, 0.95, &mut rng);
+        }
+        for _ in 0..normal {
+            push(&mut workers, &mut id, 0.8, &mut rng);
+        }
+        for _ in 0..spammers {
+            // Spammers answer at chance, exactly.
+            workers.push(WorkerProfile::with_ability(id, 0.5));
+            id += 1;
+        }
+        WorkerPool::new(workers)
+    }
+
+    /// Adds `n` biased workers (they answer `label` with probability
+    /// `strength`, otherwise behave with `ability`). Ids continue after the
+    /// current maximum.
+    pub fn with_biased(mut self, n: usize, label: usize, strength: f64, ability: f64) -> Self {
+        let mut next = self.workers.iter().map(|w| w.id).max().unwrap_or(0) + 1;
+        for _ in 0..n {
+            let mut w = WorkerProfile::with_ability(next, ability);
+            w.bias = Some((label, strength));
+            self.workers.push(w);
+            next += 1;
+        }
+        self
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// True if the roster is empty.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_pool() {
+        let p = WorkerPool::uniform(5, 0.9);
+        assert_eq!(p.len(), 5);
+        assert!(p.workers.iter().all(|w| w.ability == 0.9));
+        let ids: Vec<u64> = p.workers.iter().map(|w| w.id).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn mixture_composition() {
+        let p = WorkerPool::mixture(2, 3, 4, 42);
+        assert_eq!(p.len(), 9);
+        let experts = p.workers.iter().filter(|w| w.ability > 0.9).count();
+        let spammers = p.workers.iter().filter(|w| w.ability == 0.5).count();
+        assert_eq!(experts, 2);
+        assert_eq!(spammers, 4);
+    }
+
+    #[test]
+    fn mixture_deterministic() {
+        assert_eq!(WorkerPool::mixture(2, 2, 2, 7), WorkerPool::mixture(2, 2, 2, 7));
+        assert_ne!(WorkerPool::mixture(2, 2, 2, 7), WorkerPool::mixture(2, 2, 2, 8));
+    }
+
+    #[test]
+    fn biased_extension() {
+        let p = WorkerPool::uniform(3, 0.8).with_biased(2, 1, 0.9, 0.8);
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.workers[3].bias, Some((1, 0.9)));
+        assert_eq!(p.workers[4].id, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate worker ids")]
+    fn duplicate_ids_rejected() {
+        WorkerPool::new(vec![
+            WorkerProfile::with_ability(1, 0.8),
+            WorkerProfile::with_ability(1, 0.9),
+        ]);
+    }
+
+    #[test]
+    fn empty_pool_is_empty() {
+        assert!(WorkerPool::new(vec![]).is_empty());
+    }
+}

@@ -1,0 +1,120 @@
+//! The platform object model — the PyBossa-equivalent records.
+//!
+//! Everything a second researcher needs to *examine* an experiment lives
+//! here: when a task was published, who worked on it, when they started and
+//! finished, and what they answered. These records are what the CrowdData
+//! `task` and `result` columns persist.
+
+use serde::{Deserialize, Serialize};
+
+/// Platform-assigned project identifier.
+pub type ProjectId = u64;
+/// Platform-assigned task identifier.
+pub type TaskId = u64;
+/// Worker identifier (stable across an experiment).
+pub type WorkerId = u64;
+/// Simulated wall-clock time in milliseconds since experiment start.
+pub type SimTime = u64;
+
+/// A project groups the tasks of one experiment/presenter pairing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Project {
+    /// Platform id.
+    pub id: ProjectId,
+    /// Human-readable name (the experiment name).
+    pub name: String,
+    /// When the project was created (simulated clock).
+    pub created_at: SimTime,
+}
+
+/// What a client submits to publish one task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Task payload shown to workers (rendered by the presenter). For the
+    /// simulator, the reserved `"_sim"` field carries the answer model.
+    pub payload: serde_json::Value,
+    /// Distinct workers that must answer this task.
+    pub n_assignments: u32,
+}
+
+/// Lifecycle of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskStatus {
+    /// Fewer than `n_assignments` runs collected.
+    Open,
+    /// Redundancy met; no more runs will be added.
+    Completed,
+}
+
+/// A published task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Platform id.
+    pub id: TaskId,
+    /// Owning project.
+    pub project_id: ProjectId,
+    /// Payload as submitted.
+    pub payload: serde_json::Value,
+    /// Redundancy requested.
+    pub n_assignments: u32,
+    /// When the platform accepted the task (lineage: "when were the tasks
+    /// published?").
+    pub published_at: SimTime,
+    /// Current lifecycle state.
+    pub status: TaskStatus,
+}
+
+/// One worker's answer to one task (PyBossa's "task run").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskRun {
+    /// The task answered.
+    pub task_id: TaskId,
+    /// The worker who answered (lineage: "which workers did the tasks?").
+    pub worker_id: WorkerId,
+    /// The answer payload.
+    pub answer: serde_json::Value,
+    /// When the worker picked the task up.
+    pub assigned_at: SimTime,
+    /// When the answer was submitted.
+    pub submitted_at: SimTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_serde_roundtrip() {
+        let t = Task {
+            id: 5,
+            project_id: 1,
+            payload: serde_json::json!({"url": "img1.jpg"}),
+            n_assignments: 3,
+            published_at: 1234,
+            status: TaskStatus::Open,
+        };
+        let s = serde_json::to_string(&t).unwrap();
+        assert_eq!(serde_json::from_str::<Task>(&s).unwrap(), t);
+    }
+
+    #[test]
+    fn task_run_serde_roundtrip() {
+        let r = TaskRun {
+            task_id: 5,
+            worker_id: 77,
+            answer: serde_json::json!("Yes"),
+            assigned_at: 10,
+            submitted_at: 950,
+        };
+        let s = serde_json::to_string(&r).unwrap();
+        assert_eq!(serde_json::from_str::<TaskRun>(&s).unwrap(), r);
+    }
+
+    #[test]
+    fn status_roundtrip() {
+        for st in [TaskStatus::Open, TaskStatus::Completed] {
+            let s = serde_json::to_string(&st).unwrap();
+            assert_eq!(serde_json::from_str::<TaskStatus>(&s).unwrap(), st);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Evaluation metrics for aggregated labels.
+//!
+//! Used by the experiment harness (E6–E8) to score operator output against
+//! synthetic ground truth: accuracy, per-label precision/recall/F1 and
+//! Cohen's κ (chance-corrected agreement).
+
+use crate::truth::LabelId;
+
+/// Fraction of items where the prediction equals the truth. Unlabeled
+/// predictions (`None`) count as wrong. Empty input yields 0.
+pub fn accuracy(pred: &[Option<LabelId>], truth: &[LabelId]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "prediction/truth length mismatch");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let correct = pred.iter().zip(truth).filter(|(p, t)| p.as_ref() == Some(t)).count();
+    correct as f64 / truth.len() as f64
+}
+
+/// `counts[t][p]` = number of items with truth `t` predicted as `p`;
+/// the extra final column `counts[t][n_labels]` counts unlabeled items.
+pub fn confusion_counts(
+    pred: &[Option<LabelId>],
+    truth: &[LabelId],
+    n_labels: usize,
+) -> Vec<Vec<usize>> {
+    assert_eq!(pred.len(), truth.len());
+    let mut counts = vec![vec![0usize; n_labels + 1]; n_labels];
+    for (p, &t) in pred.iter().zip(truth) {
+        match p {
+            Some(l) => counts[t][*l] += 1,
+            None => counts[t][n_labels] += 1,
+        }
+    }
+    counts
+}
+
+/// Precision and recall of `label` treated one-vs-rest.
+/// Conventions: precision is 1.0 if nothing was predicted as `label`;
+/// recall is 1.0 if no item truly has `label`.
+pub fn precision_recall(
+    pred: &[Option<LabelId>],
+    truth: &[LabelId],
+    label: LabelId,
+) -> (f64, f64) {
+    assert_eq!(pred.len(), truth.len());
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut fn_ = 0usize;
+    for (p, &t) in pred.iter().zip(truth) {
+        let predicted = p.as_ref() == Some(&label);
+        let actual = t == label;
+        match (predicted, actual) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fn_ += 1,
+            (false, false) => {}
+        }
+    }
+    let precision = if tp + fp == 0 { 1.0 } else { tp as f64 / (tp + fp) as f64 };
+    let recall = if tp + fn_ == 0 { 1.0 } else { tp as f64 / (tp + fn_) as f64 };
+    (precision, recall)
+}
+
+/// F1 of `label` one-vs-rest (harmonic mean of precision and recall; 0 when
+/// both are 0).
+pub fn f1_score(pred: &[Option<LabelId>], truth: &[LabelId], label: LabelId) -> f64 {
+    let (p, r) = precision_recall(pred, truth, label);
+    if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// Cohen's κ between predictions and truth over `n_labels` labels.
+/// Unlabeled predictions are treated as an extra category. Returns 0 for
+/// empty input; 1 means perfect agreement, 0 chance-level.
+pub fn cohen_kappa(pred: &[Option<LabelId>], truth: &[LabelId], n_labels: usize) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    let n = pred.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let idx = |p: &Option<LabelId>| p.map(|l| l).unwrap_or(n_labels);
+    let k = n_labels + 1;
+    let mut joint = vec![vec![0usize; k]; k];
+    for (p, &t) in pred.iter().zip(truth) {
+        joint[idx(p)][t] += 1;
+    }
+    let po: f64 =
+        (0..k).map(|c| joint[c].get(c).copied().unwrap_or(0)).sum::<usize>() as f64 / n as f64;
+    let mut pe = 0.0;
+    for c in 0..k {
+        let row: usize = joint[c].iter().sum();
+        let col: usize = joint.iter().map(|r| r.get(c).copied().unwrap_or(0)).sum();
+        pe += (row as f64 / n as f64) * (col as f64 / n as f64);
+    }
+    if (1.0 - pe).abs() < 1e-15 {
+        // Degenerate marginals (everything one class): κ is 1 on perfect
+        // agreement, else 0.
+        return if po >= 1.0 { 1.0 } else { 0.0 };
+    }
+    (po - pe) / (1.0 - pe)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        let pred = vec![Some(0), Some(1), None, Some(0)];
+        let truth = vec![0, 1, 0, 1];
+        assert!((accuracy(&pred, &truth) - 0.5).abs() < 1e-12);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_length_mismatch_panics() {
+        accuracy(&[Some(0)], &[0, 1]);
+    }
+
+    #[test]
+    fn confusion_counts_include_unlabeled() {
+        let pred = vec![Some(0), Some(1), None];
+        let truth = vec![0, 0, 1];
+        let c = confusion_counts(&pred, &truth, 2);
+        assert_eq!(c[0][0], 1);
+        assert_eq!(c[0][1], 1);
+        assert_eq!(c[1][2], 1); // truth 1, unlabeled
+    }
+
+    #[test]
+    fn precision_recall_known_case() {
+        // predictions: label 1 predicted 3 times, 2 correct; truth has 3 ones.
+        let pred = vec![Some(1), Some(1), Some(1), Some(0), Some(0)];
+        let truth = vec![1, 1, 0, 1, 0];
+        let (p, r) = precision_recall(&pred, &truth, 1);
+        assert!((p - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r - 2.0 / 3.0).abs() < 1e-12);
+        assert!((f1_score(&pred, &truth, 1) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_conventions_on_empty_classes() {
+        let pred = vec![Some(0), Some(0)];
+        let truth = vec![0, 0];
+        let (p, r) = precision_recall(&pred, &truth, 1);
+        assert_eq!(p, 1.0); // nothing predicted as 1
+        assert_eq!(r, 1.0); // nothing truly 1
+    }
+
+    #[test]
+    fn kappa_perfect_and_chance() {
+        let truth: Vec<LabelId> = (0..100).map(|i| i % 2).collect();
+        let perfect: Vec<Option<LabelId>> = truth.iter().map(|&t| Some(t)).collect();
+        assert!((cohen_kappa(&perfect, &truth, 2) - 1.0).abs() < 1e-12);
+
+        // Constant predictor on balanced truth: κ = 0.
+        let constant: Vec<Option<LabelId>> = vec![Some(0); 100];
+        assert!(cohen_kappa(&constant, &truth, 2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kappa_empty_input() {
+        assert_eq!(cohen_kappa(&[], &[], 2), 0.0);
+    }
+
+    #[test]
+    fn kappa_degenerate_single_class_perfect() {
+        let truth = vec![0usize; 10];
+        let pred: Vec<Option<LabelId>> = vec![Some(0); 10];
+        assert_eq!(cohen_kappa(&pred, &truth, 2), 1.0);
+    }
+
+    #[test]
+    fn f1_zero_when_no_overlap() {
+        let pred = vec![Some(0), Some(0)];
+        let truth = vec![1, 1];
+        assert_eq!(f1_score(&pred, &truth, 1), 0.0);
+    }
+}

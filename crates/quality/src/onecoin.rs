@@ -1,0 +1,318 @@
+//! One-coin EM: each worker is a biased coin.
+//!
+//! The simplest latent-truth model: worker `j` answers correctly with
+//! probability `a_j` regardless of the true label, and errs uniformly over
+//! the other `K-1` labels. Estimated with EM, initialized from majority
+//! vote so the procedure is deterministic.
+
+use crate::truth::{LabelId, VoteMatrix, WorkerId};
+use std::collections::HashMap;
+
+/// Hyper-parameters for one-coin EM.
+#[derive(Debug, Clone)]
+pub struct OneCoinConfig {
+    /// Maximum EM iterations.
+    pub max_iterations: usize,
+    /// Stop when the max absolute change of any posterior falls below this.
+    pub tolerance: f64,
+    /// Worker accuracies are clamped into `[epsilon, 1 - epsilon]` so a
+    /// single perfect/terrible streak cannot produce infinite log-odds.
+    pub epsilon: f64,
+}
+
+impl Default for OneCoinConfig {
+    fn default() -> Self {
+        OneCoinConfig { max_iterations: 100, tolerance: 1e-6, epsilon: 1e-3 }
+    }
+}
+
+/// Fitted one-coin model.
+#[derive(Debug, Clone)]
+pub struct OneCoinModel {
+    /// `posteriors[i][t]` = P(true label of item `i` = `t` | votes).
+    pub posteriors: Vec<Vec<f64>>,
+    /// Estimated accuracy per worker.
+    pub accuracies: HashMap<WorkerId, f64>,
+    /// Estimated class priors.
+    pub priors: Vec<f64>,
+    /// Iterations actually run.
+    pub iterations: usize,
+    /// Whether the tolerance was reached before `max_iterations`.
+    pub converged: bool,
+}
+
+impl OneCoinModel {
+    /// Hard labels: argmax posterior per item; `None` for items without votes.
+    pub fn labels(&self, matrix: &VoteMatrix) -> Vec<Option<LabelId>> {
+        argmax_labels(&self.posteriors, matrix)
+    }
+}
+
+/// Estimator entry point.
+pub struct OneCoin;
+
+impl OneCoin {
+    /// Fits the one-coin model to `matrix`.
+    pub fn fit(matrix: &VoteMatrix, config: &OneCoinConfig) -> OneCoinModel {
+        let k = matrix.n_labels.max(1);
+        let mut posteriors = init_posteriors_from_votes(matrix);
+        let workers = matrix.workers();
+        let mut accuracies: HashMap<WorkerId, f64> =
+            workers.iter().map(|&w| (w, 0.8)).collect();
+        let mut priors = vec![1.0 / k as f64; k];
+        let mut iterations = 0;
+        let mut converged = false;
+
+        for _ in 0..config.max_iterations {
+            iterations += 1;
+            // ---- M step: accuracies and priors from current posteriors.
+            let mut correct: HashMap<WorkerId, f64> = HashMap::new();
+            let mut total: HashMap<WorkerId, f64> = HashMap::new();
+            let mut prior_acc = vec![0.0f64; k];
+            let mut items_with_votes = 0usize;
+            for (i, votes) in matrix.items.iter().enumerate() {
+                if votes.is_empty() {
+                    continue;
+                }
+                items_with_votes += 1;
+                for (t, &p) in posteriors[i].iter().enumerate() {
+                    prior_acc[t] += p;
+                }
+                for &(w, l) in votes {
+                    *correct.entry(w).or_insert(0.0) += posteriors[i][l];
+                    *total.entry(w).or_insert(0.0) += 1.0;
+                    let _ = l;
+                }
+            }
+            if items_with_votes > 0 {
+                for p in prior_acc.iter_mut() {
+                    *p /= items_with_votes as f64;
+                }
+                priors = prior_acc;
+            }
+            for &w in &workers {
+                let c = correct.get(&w).copied().unwrap_or(0.0);
+                let t = total.get(&w).copied().unwrap_or(0.0);
+                let a = if t > 0.0 { c / t } else { 0.5 };
+                accuracies.insert(w, a.clamp(config.epsilon, 1.0 - config.epsilon));
+            }
+
+            // ---- E step: recompute posteriors in log space.
+            let mut max_delta = 0.0f64;
+            for (i, votes) in matrix.items.iter().enumerate() {
+                if votes.is_empty() {
+                    continue;
+                }
+                let mut logp: Vec<f64> =
+                    priors.iter().map(|&p| p.max(1e-300).ln()).collect();
+                for &(w, l) in votes {
+                    let a = accuracies[&w];
+                    let wrong = ((1.0 - a) / (k as f64 - 1.0).max(1.0)).max(1e-300);
+                    for (t, lp) in logp.iter_mut().enumerate() {
+                        *lp += if t == l { a.ln() } else { wrong.ln() };
+                    }
+                }
+                let new_post = normalize_log(&logp);
+                for t in 0..k {
+                    max_delta = max_delta.max((new_post[t] - posteriors[i][t]).abs());
+                }
+                posteriors[i] = new_post;
+            }
+            if max_delta < config.tolerance {
+                converged = true;
+                break;
+            }
+        }
+        OneCoinModel { posteriors, accuracies, priors, iterations, converged }
+    }
+}
+
+/// Initial posteriors: each item's (smoothed, normalized) vote histogram.
+pub(crate) fn init_posteriors_from_votes(matrix: &VoteMatrix) -> Vec<Vec<f64>> {
+    let k = matrix.n_labels.max(1);
+    matrix
+        .items
+        .iter()
+        .map(|votes| {
+            let mut h = vec![1e-2f64; k]; // light smoothing avoids hard zeros
+            for &(_, l) in votes {
+                h[l] += 1.0;
+            }
+            let s: f64 = h.iter().sum();
+            h.iter().map(|&x| x / s).collect()
+        })
+        .collect()
+}
+
+/// Softmax-style normalization of log-probabilities.
+pub(crate) fn normalize_log(logp: &[f64]) -> Vec<f64> {
+    let m = logp.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+    let exp: Vec<f64> = logp.iter().map(|&lp| (lp - m).exp()).collect();
+    let s: f64 = exp.iter().sum();
+    exp.iter().map(|&e| e / s).collect()
+}
+
+/// Argmax with deterministic (lowest-label) tie-breaking; `None` where an
+/// item received no votes.
+pub(crate) fn argmax_labels(
+    posteriors: &[Vec<f64>],
+    matrix: &VoteMatrix,
+) -> Vec<Option<LabelId>> {
+    posteriors
+        .iter()
+        .zip(&matrix.items)
+        .map(|(post, votes)| {
+            if votes.is_empty() {
+                return None;
+            }
+            let mut best = 0;
+            for (t, &p) in post.iter().enumerate() {
+                if p > post[best] + 1e-15 {
+                    best = t;
+                }
+            }
+            Some(best)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vote::{majority_vote_matrix, TiePolicy};
+
+    /// Deterministic synthetic crowd: `n_good` workers with accuracy ~0.9,
+    /// `n_bad` with ~0.3 (adversarial-ish), labeling `n_items` binary items.
+    fn synth(n_items: usize, n_good: usize, n_bad: usize) -> (VoteMatrix, Vec<LabelId>) {
+        let truth: Vec<LabelId> = (0..n_items).map(|i| i % 2).collect();
+        let mut m = VoteMatrix::new(2, n_items);
+        // Simple deterministic pseudo-randomness: hash of (worker, item).
+        let wrong = |w: u64, i: usize, rate_pct: u64| -> bool {
+            let mut z = (w << 32) ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            z % 100 < rate_pct
+        };
+        for w in 0..n_good as u64 {
+            for (i, &t) in truth.iter().enumerate() {
+                let l = if wrong(w + 1, i, 10) { 1 - t } else { t };
+                m.push_vote(i, w + 1, l);
+            }
+        }
+        for w in 0..n_bad as u64 {
+            let wid = 1000 + w;
+            for (i, &t) in truth.iter().enumerate() {
+                let l = if wrong(wid, i, 70) { 1 - t } else { t };
+                m.push_vote(i, wid, l);
+            }
+        }
+        (m, truth)
+    }
+
+    fn hard_accuracy(pred: &[Option<LabelId>], truth: &[LabelId]) -> f64 {
+        let correct =
+            pred.iter().zip(truth).filter(|(p, t)| p.as_ref() == Some(t)).count();
+        correct as f64 / truth.len() as f64
+    }
+
+    #[test]
+    fn recovers_truth_with_good_workers() {
+        let (m, truth) = synth(100, 5, 0);
+        let model = OneCoin::fit(&m, &OneCoinConfig::default());
+        assert!(model.converged);
+        let acc = hard_accuracy(&model.labels(&m), &truth);
+        assert!(acc >= 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn estimates_worker_accuracy_ordering() {
+        let (m, _) = synth(200, 3, 3);
+        let model = OneCoin::fit(&m, &OneCoinConfig::default());
+        for good in 1..=3u64 {
+            for bad in 1000..1003u64 {
+                assert!(
+                    model.accuracies[&good] > model.accuracies[&bad],
+                    "good {} ({}) should beat bad {} ({})",
+                    good,
+                    model.accuracies[&good],
+                    bad,
+                    model.accuracies[&bad]
+                );
+            }
+        }
+    }
+
+    /// Spammer crowd: workers voting at 50% error carry zero signal, but
+    /// majority vote still lets them dilute the two good workers. EM learns
+    /// their accuracy ≈ 0.5 and discounts them.
+    fn synth_with_spammers(n_items: usize, n_good: usize, n_spam: usize) -> (VoteMatrix, Vec<LabelId>) {
+        let (mut m, truth) = synth(n_items, n_good, 0);
+        let wrong = |w: u64, i: usize, rate_pct: u64| -> bool {
+            let mut z = (w << 32) ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            z % 100 < rate_pct
+        };
+        for w in 0..n_spam as u64 {
+            let wid = 5000 + w;
+            for (i, &t) in truth.iter().enumerate() {
+                let l = if wrong(wid, i, 50) { 1 - t } else { t };
+                m.push_vote(i, wid, l);
+            }
+        }
+        (m, truth)
+    }
+
+    #[test]
+    fn beats_majority_vote_with_spammer_majority() {
+        // 2 good workers vs 3 spammers: MV is diluted by coin-flip votes;
+        // EM learns to discount them.
+        let (m, truth) = synth_with_spammers(300, 2, 3);
+        let mv = majority_vote_matrix(&m, TiePolicy::LowestLabel);
+        let model = OneCoin::fit(&m, &OneCoinConfig::default());
+        let em = model.labels(&m);
+        let acc_mv = hard_accuracy(&mv, &truth);
+        let acc_em = hard_accuracy(&em, &truth);
+        assert!(
+            acc_em > acc_mv,
+            "EM ({acc_em}) should beat MV ({acc_mv}) under a spammer majority"
+        );
+        // Two 90%-accurate workers fuse to ~0.90 at best (split votes are
+        // decided by the spammers), so 0.85 is the right floor here.
+        assert!(acc_em > 0.85, "EM accuracy {acc_em}");
+        // And the spammers' estimated accuracy hovers near chance.
+        for w in 5000..5003u64 {
+            let a = model.accuracies[&w];
+            assert!((0.3..0.7).contains(&a), "spammer {w} accuracy {a}");
+        }
+    }
+
+    #[test]
+    fn empty_matrix_is_fine() {
+        let m = VoteMatrix::new(2, 3);
+        let model = OneCoin::fit(&m, &OneCoinConfig::default());
+        assert_eq!(model.labels(&m), vec![None, None, None]);
+    }
+
+    #[test]
+    fn posteriors_are_distributions() {
+        let (m, _) = synth(50, 3, 1);
+        let model = OneCoin::fit(&m, &OneCoinConfig::default());
+        for post in &model.posteriors {
+            let s: f64 = post.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+            assert!(post.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (m, _) = synth(80, 3, 2);
+        let a = OneCoin::fit(&m, &OneCoinConfig::default());
+        let b = OneCoin::fit(&m, &OneCoinConfig::default());
+        assert_eq!(a.posteriors, b.posteriors);
+        assert_eq!(a.iterations, b.iterations);
+    }
+}

@@ -1,0 +1,128 @@
+//! The [`VoteMatrix`] — the common input format of every aggregator.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Identifies a worker across the whole experiment (platform worker id).
+pub type WorkerId = u64;
+
+/// Dense index into an experiment's label space (e.g. 0 = "Yes", 1 = "No").
+pub type LabelId = usize;
+
+/// Sparse item × worker vote table.
+///
+/// `items[i]` holds every `(worker, label)` vote cast on item `i`. Workers
+/// may label any subset of items (crowd data is always incomplete), and an
+/// item may have any redundancy, including zero.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VoteMatrix {
+    /// Size of the label space; every `LabelId` must be `< n_labels`.
+    pub n_labels: usize,
+    /// Per-item votes.
+    pub items: Vec<Vec<(WorkerId, LabelId)>>,
+}
+
+impl VoteMatrix {
+    /// Creates an empty matrix over `n_labels` labels with `n_items` items.
+    pub fn new(n_labels: usize, n_items: usize) -> Self {
+        VoteMatrix { n_labels, items: vec![Vec::new(); n_items] }
+    }
+
+    /// Builds a matrix from `(item, worker, label)` triples.
+    ///
+    /// # Panics
+    /// Panics if any label is out of range — that is a programming error in
+    /// the caller, not a data-quality issue.
+    pub fn from_triples(
+        n_labels: usize,
+        n_items: usize,
+        triples: impl IntoIterator<Item = (usize, WorkerId, LabelId)>,
+    ) -> Self {
+        let mut m = VoteMatrix::new(n_labels, n_items);
+        for (item, worker, label) in triples {
+            m.push_vote(item, worker, label);
+        }
+        m
+    }
+
+    /// Records one vote.
+    ///
+    /// # Panics
+    /// Panics if `item >= n_items` or `label >= n_labels`.
+    pub fn push_vote(&mut self, item: usize, worker: WorkerId, label: LabelId) {
+        assert!(label < self.n_labels, "label {label} out of range {}", self.n_labels);
+        self.items[item].push((worker, label));
+    }
+
+    /// Number of items (including unlabeled ones).
+    pub fn n_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Total number of votes across all items.
+    pub fn n_votes(&self) -> usize {
+        self.items.iter().map(Vec::len).sum()
+    }
+
+    /// The distinct workers appearing anywhere in the matrix, ascending.
+    pub fn workers(&self) -> Vec<WorkerId> {
+        let set: BTreeSet<WorkerId> =
+            self.items.iter().flatten().map(|&(w, _)| w).collect();
+        set.into_iter().collect()
+    }
+
+    /// Per-item label histograms: `hist[i][l]` = votes for label `l` on item `i`.
+    pub fn histograms(&self) -> Vec<Vec<usize>> {
+        self.items
+            .iter()
+            .map(|votes| {
+                let mut h = vec![0usize; self.n_labels];
+                for &(_, l) in votes {
+                    h[l] += 1;
+                }
+                h
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_inspect() {
+        let m = VoteMatrix::from_triples(
+            2,
+            3,
+            vec![(0, 10, 0), (0, 11, 0), (0, 12, 1), (1, 10, 1), (2, 12, 0)],
+        );
+        assert_eq!(m.n_items(), 3);
+        assert_eq!(m.n_votes(), 5);
+        assert_eq!(m.workers(), vec![10, 11, 12]);
+        assert_eq!(m.histograms(), vec![vec![2, 1], vec![0, 1], vec![1, 0]]);
+    }
+
+    #[test]
+    fn empty_items_allowed() {
+        let m = VoteMatrix::new(3, 2);
+        assert_eq!(m.n_votes(), 0);
+        assert_eq!(m.histograms(), vec![vec![0, 0, 0]; 2]);
+        assert!(m.workers().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_label_panics() {
+        let mut m = VoteMatrix::new(2, 1);
+        m.push_vote(0, 1, 2);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = VoteMatrix::from_triples(2, 2, vec![(0, 1, 0), (1, 2, 1)]);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: VoteMatrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+}

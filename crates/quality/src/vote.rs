@@ -1,0 +1,103 @@
+//! Majority vote — the paper's running example aggregator (its Figure 2
+//! labels images with three workers and takes the majority).
+
+use crate::truth::{LabelId, VoteMatrix, WorkerId};
+
+/// What to do when two or more labels tie for the most votes.
+///
+/// Reproducibility demands a *deterministic* policy: re-running Bob's
+/// experiment must produce the same `mv` column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TiePolicy {
+    /// Return the smallest tied [`LabelId`]. Deterministic default.
+    LowestLabel,
+    /// Return `None` for the item, leaving it unresolved (callers may then
+    /// raise redundancy for just those items).
+    Unresolved,
+}
+
+/// Majority vote over one item's votes. Returns `None` for an empty vote
+/// list, or on ties under [`TiePolicy::Unresolved`].
+pub fn majority_vote(
+    votes: &[(WorkerId, LabelId)],
+    n_labels: usize,
+    tie: TiePolicy,
+) -> Option<LabelId> {
+    if votes.is_empty() {
+        return None;
+    }
+    let mut hist = vec![0usize; n_labels];
+    for &(_, l) in votes {
+        hist[l] += 1;
+    }
+    let best = *hist.iter().max().expect("n_labels > 0");
+    let mut winners = hist.iter().enumerate().filter(|&(_, &c)| c == best).map(|(l, _)| l);
+    let first = winners.next().expect("at least one winner");
+    match tie {
+        TiePolicy::LowestLabel => Some(first),
+        TiePolicy::Unresolved => {
+            if winners.next().is_some() {
+                None
+            } else {
+                Some(first)
+            }
+        }
+    }
+}
+
+/// Majority vote for every item of a matrix.
+pub fn majority_vote_matrix(matrix: &VoteMatrix, tie: TiePolicy) -> Vec<Option<LabelId>> {
+    matrix.items.iter().map(|votes| majority_vote(votes, matrix.n_labels, tie)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_majority() {
+        let votes = vec![(1, 0), (2, 0), (3, 1)];
+        assert_eq!(majority_vote(&votes, 2, TiePolicy::LowestLabel), Some(0));
+        assert_eq!(majority_vote(&votes, 2, TiePolicy::Unresolved), Some(0));
+    }
+
+    #[test]
+    fn unanimous() {
+        let votes = vec![(1, 1), (2, 1), (3, 1)];
+        assert_eq!(majority_vote(&votes, 2, TiePolicy::LowestLabel), Some(1));
+    }
+
+    #[test]
+    fn tie_policies_differ() {
+        let votes = vec![(1, 0), (2, 1)];
+        assert_eq!(majority_vote(&votes, 2, TiePolicy::LowestLabel), Some(0));
+        assert_eq!(majority_vote(&votes, 2, TiePolicy::Unresolved), None);
+    }
+
+    #[test]
+    fn empty_votes_unresolved() {
+        assert_eq!(majority_vote(&[], 2, TiePolicy::LowestLabel), None);
+    }
+
+    #[test]
+    fn multiway_tie_lowest_label() {
+        let votes = vec![(1, 2), (2, 1), (3, 0)];
+        assert_eq!(majority_vote(&votes, 3, TiePolicy::LowestLabel), Some(0));
+    }
+
+    #[test]
+    fn matrix_aggregation() {
+        let m = VoteMatrix::from_triples(
+            2,
+            3,
+            vec![(0, 1, 0), (0, 2, 0), (0, 3, 1), (1, 1, 1), (1, 2, 1)],
+        );
+        let out = majority_vote_matrix(&m, TiePolicy::LowestLabel);
+        assert_eq!(out, vec![Some(0), Some(1), None]); // item 2 has no votes
+    }
+
+    #[test]
+    fn single_vote_wins() {
+        assert_eq!(majority_vote(&[(9, 1)], 3, TiePolicy::Unresolved), Some(1));
+    }
+}

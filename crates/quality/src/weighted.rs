@@ -1,0 +1,148 @@
+//! Weighted majority vote.
+//!
+//! Identical to plain majority vote except each worker's ballot counts with
+//! a weight — typically their estimated accuracy from [`gold`](crate::gold)
+//! calibration or an EM model. With uniform weights it reduces exactly to
+//! majority vote (a property the tests pin down).
+
+use crate::truth::{LabelId, VoteMatrix, WorkerId};
+use crate::vote::TiePolicy;
+use std::collections::HashMap;
+
+/// Weighted majority over one item. Workers missing from `weights` count
+/// with `default_weight`. Returns `None` on empty votes, zero total weight,
+/// or ties under [`TiePolicy::Unresolved`].
+pub fn weighted_majority_vote(
+    votes: &[(WorkerId, LabelId)],
+    n_labels: usize,
+    weights: &HashMap<WorkerId, f64>,
+    default_weight: f64,
+    tie: TiePolicy,
+) -> Option<LabelId> {
+    if votes.is_empty() {
+        return None;
+    }
+    let mut mass = vec![0.0f64; n_labels];
+    for &(w, l) in votes {
+        mass[l] += weights.get(&w).copied().unwrap_or(default_weight).max(0.0);
+    }
+    let best = mass.iter().fold(0.0f64, |a, &b| a.max(b));
+    if best <= 0.0 {
+        return None;
+    }
+    // Tolerance for float accumulation when comparing "tied" masses.
+    let eps = 1e-12 * best.max(1.0);
+    let mut winners = mass
+        .iter()
+        .enumerate()
+        .filter(|&(_, &m)| (best - m).abs() <= eps)
+        .map(|(l, _)| l);
+    let first = winners.next().expect("best exists");
+    match tie {
+        TiePolicy::LowestLabel => Some(first),
+        TiePolicy::Unresolved => {
+            if winners.next().is_some() {
+                None
+            } else {
+                Some(first)
+            }
+        }
+    }
+}
+
+/// Weighted majority vote for every item of a matrix.
+pub fn weighted_majority_vote_matrix(
+    matrix: &VoteMatrix,
+    weights: &HashMap<WorkerId, f64>,
+    default_weight: f64,
+    tie: TiePolicy,
+) -> Vec<Option<LabelId>> {
+    matrix
+        .items
+        .iter()
+        .map(|v| weighted_majority_vote(v, matrix.n_labels, weights, default_weight, tie))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vote::majority_vote;
+
+    #[test]
+    fn uniform_weights_reduce_to_majority() {
+        let weights = HashMap::new();
+        let cases: Vec<Vec<(WorkerId, LabelId)>> = vec![
+            vec![(1, 0), (2, 0), (3, 1)],
+            vec![(1, 1), (2, 1)],
+            vec![(1, 0)],
+            vec![],
+        ];
+        for votes in cases {
+            assert_eq!(
+                weighted_majority_vote(&votes, 2, &weights, 1.0, TiePolicy::LowestLabel),
+                majority_vote(&votes, 2, TiePolicy::LowestLabel),
+                "votes: {votes:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn expert_outvotes_two_novices() {
+        let mut weights = HashMap::new();
+        weights.insert(1u64, 0.95);
+        weights.insert(2u64, 0.4);
+        weights.insert(3u64, 0.4);
+        let votes = vec![(1, 1), (2, 0), (3, 0)];
+        assert_eq!(
+            weighted_majority_vote(&votes, 2, &weights, 1.0, TiePolicy::LowestLabel),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn zero_total_weight_unresolved() {
+        let mut weights = HashMap::new();
+        weights.insert(1u64, 0.0);
+        let votes = vec![(1, 1)];
+        assert_eq!(weighted_majority_vote(&votes, 2, &weights, 0.0, TiePolicy::LowestLabel), None);
+    }
+
+    #[test]
+    fn negative_weights_clamped_to_zero() {
+        let mut weights = HashMap::new();
+        weights.insert(1u64, -5.0);
+        weights.insert(2u64, 0.5);
+        let votes = vec![(1, 0), (2, 1)];
+        assert_eq!(
+            weighted_majority_vote(&votes, 2, &weights, 0.0, TiePolicy::LowestLabel),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn exact_weight_tie_respects_policy() {
+        let mut weights = HashMap::new();
+        weights.insert(1u64, 0.5);
+        weights.insert(2u64, 0.5);
+        let votes = vec![(1, 0), (2, 1)];
+        assert_eq!(
+            weighted_majority_vote(&votes, 2, &weights, 0.0, TiePolicy::Unresolved),
+            None
+        );
+        assert_eq!(
+            weighted_majority_vote(&votes, 2, &weights, 0.0, TiePolicy::LowestLabel),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn matrix_form_matches_scalar_form() {
+        let m = VoteMatrix::from_triples(2, 2, vec![(0, 1, 0), (0, 2, 1), (1, 2, 1)]);
+        let mut weights = HashMap::new();
+        weights.insert(1u64, 0.9);
+        weights.insert(2u64, 0.2);
+        let out = weighted_majority_vote_matrix(&m, &weights, 1.0, TiePolicy::LowestLabel);
+        assert_eq!(out, vec![Some(0), Some(1)]);
+    }
+}

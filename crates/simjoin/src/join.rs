@@ -1,0 +1,208 @@
+//! Similarity-join drivers: candidate generation + verification.
+//!
+//! [`self_join`] is what CrowdER's machine pass calls: it returns every pair
+//! of records whose similarity clears the threshold, with the exact score
+//! attached (the crowd pass later re-examines the grey zone). A brute-force
+//! oracle ([`brute_force_self_join`]) backs the tests and benchmarks.
+
+use crate::prefix::{build_universe, candidates};
+use crate::similarity::SetSimilarity;
+use crate::tokenize::word_set;
+
+/// A verified similar pair (indices into the input slice, `left < right`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimPair {
+    /// Index of the first record.
+    pub left: usize,
+    /// Index of the second record.
+    pub right: usize,
+    /// Exact similarity under the configured measure.
+    pub similarity: f64,
+}
+
+/// Configuration of a similarity join.
+#[derive(Debug, Clone)]
+pub struct JoinConfig {
+    /// Set measure to verify with.
+    pub measure: SetSimilarity,
+    /// Minimum similarity for a pair to be emitted.
+    pub threshold: f64,
+}
+
+impl JoinConfig {
+    /// Creates a config, clamping the threshold into `(0, 1]`.
+    ///
+    /// A threshold of exactly 0 would emit all `O(n²)` pairs; we clamp to a
+    /// small epsilon so degenerate sweeps stay finite but behave like 0.
+    pub fn new(measure: SetSimilarity, threshold: f64) -> Self {
+        JoinConfig { measure, threshold: threshold.clamp(1e-9, 1.0) }
+    }
+}
+
+/// All pairs of `records` with similarity >= threshold, sorted by
+/// descending similarity then ascending indices.
+pub fn self_join(records: &[String], config: &JoinConfig) -> Vec<SimPair> {
+    let token_sets: Vec<Vec<String>> = records.iter().map(|r| word_set(r)).collect();
+    self_join_tokens(&token_sets, config)
+}
+
+/// [`self_join`] over pre-tokenized sets (each sorted + deduplicated).
+pub fn self_join_tokens(token_sets: &[Vec<String>], config: &JoinConfig) -> Vec<SimPair> {
+    let universe = build_universe(token_sets);
+    let cands = candidates(&universe, config.measure, config.threshold);
+    let mut out = Vec::new();
+    for (i, j) in cands {
+        let sim = config.measure.compute(&token_sets[i], &token_sets[j]);
+        if sim >= config.threshold {
+            out.push(SimPair { left: i, right: j, similarity: sim });
+        }
+    }
+    sort_pairs(&mut out);
+    out
+}
+
+/// Join two collections: pairs `(i, j)` with `left[i] ~ right[j]`.
+///
+/// Implemented over the combined universe with a partition check — adequate
+/// for the corpus sizes Reprowd experiments use (10³–10⁵ records).
+pub fn rs_join(left: &[String], right: &[String], config: &JoinConfig) -> Vec<SimPair> {
+    let mut token_sets: Vec<Vec<String>> = Vec::with_capacity(left.len() + right.len());
+    token_sets.extend(left.iter().map(|r| word_set(r)));
+    token_sets.extend(right.iter().map(|r| word_set(r)));
+    let universe = build_universe(&token_sets);
+    let cands = candidates(&universe, config.measure, config.threshold);
+    let mut out = Vec::new();
+    for (i, j) in cands {
+        // Keep only cross-partition pairs, remapped to (left_idx, right_idx).
+        let (l, r) = if i < left.len() && j >= left.len() {
+            (i, j - left.len())
+        } else if j < left.len() && i >= left.len() {
+            (j, i - left.len())
+        } else {
+            continue;
+        };
+        let sim = config.measure.compute(&token_sets[l], &token_sets[left.len() + r]);
+        if sim >= config.threshold {
+            out.push(SimPair { left: l, right: r, similarity: sim });
+        }
+    }
+    sort_pairs(&mut out);
+    out
+}
+
+/// O(n²) oracle used to validate the filtered join.
+///
+/// Like [`self_join`], records with an empty token set join nothing: an
+/// entity-resolution record with no content carries no evidence of identity.
+pub fn brute_force_self_join(records: &[String], config: &JoinConfig) -> Vec<SimPair> {
+    let token_sets: Vec<Vec<String>> = records.iter().map(|r| word_set(r)).collect();
+    let mut out = Vec::new();
+    for i in 0..token_sets.len() {
+        for j in i + 1..token_sets.len() {
+            if token_sets[i].is_empty() || token_sets[j].is_empty() {
+                continue;
+            }
+            let sim = config.measure.compute(&token_sets[i], &token_sets[j]);
+            if sim >= config.threshold {
+                out.push(SimPair { left: i, right: j, similarity: sim });
+            }
+        }
+    }
+    sort_pairs(&mut out);
+    out
+}
+
+fn sort_pairs(pairs: &mut [SimPair]) {
+    pairs.sort_by(|a, b| {
+        b.similarity
+            .partial_cmp(&a.similarity)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.left.cmp(&b.left))
+            .then(a.right.cmp(&b.right))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<String> {
+        vec![
+            "apple iphone 6s 64gb space grey".into(),
+            "iphone 6s 64gb apple".into(),
+            "samsung galaxy s7 edge 32gb".into(),
+            "galaxy s7 edge samsung 32gb black".into(),
+            "google pixel xl".into(),
+            "lenovo thinkpad x1 carbon".into(),
+        ]
+    }
+
+    #[test]
+    fn filtered_equals_brute_force_across_thresholds() {
+        let records = corpus();
+        for threshold in [0.2, 0.4, 0.5, 0.6, 0.8, 1.0] {
+            for measure in [SetSimilarity::Jaccard, SetSimilarity::Dice] {
+                let cfg = JoinConfig::new(measure, threshold);
+                assert_eq!(
+                    self_join(&records, &cfg),
+                    brute_force_self_join(&records, &cfg),
+                    "θ={threshold}, {measure:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn results_sorted_by_similarity_desc() {
+        let records = corpus();
+        let pairs = self_join(&records, &JoinConfig::new(SetSimilarity::Jaccard, 0.1));
+        assert!(pairs.windows(2).all(|w| w[0].similarity >= w[1].similarity));
+    }
+
+    #[test]
+    fn rs_join_crosses_partitions_only() {
+        let left = vec!["apple iphone six".to_string(), "nokia 3310".to_string()];
+        let right =
+            vec!["iphone six apple".to_string(), "totally unrelated record".to_string()];
+        let pairs = rs_join(&left, &right, &JoinConfig::new(SetSimilarity::Jaccard, 0.9));
+        assert_eq!(pairs.len(), 1);
+        assert_eq!((pairs[0].left, pairs[0].right), (0, 0));
+        assert_eq!(pairs[0].similarity, 1.0);
+    }
+
+    #[test]
+    fn rs_join_never_pairs_within_one_side() {
+        let left = vec!["same same same".to_string(), "same same same".to_string()];
+        let right = vec!["other words".to_string()];
+        let pairs = rs_join(&left, &right, &JoinConfig::new(SetSimilarity::Jaccard, 0.5));
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn threshold_one_matches_exact_duplicates_only() {
+        let records = vec![
+            "a b c".to_string(),
+            "c b a".to_string(), // same token set
+            "a b c d".to_string(),
+        ];
+        let pairs = self_join(&records, &JoinConfig::new(SetSimilarity::Jaccard, 1.0));
+        assert_eq!(pairs.len(), 1);
+        assert_eq!((pairs[0].left, pairs[0].right), (0, 1));
+    }
+
+    #[test]
+    fn empty_input_and_single_record() {
+        let cfg = JoinConfig::new(SetSimilarity::Jaccard, 0.5);
+        assert!(self_join(&[], &cfg).is_empty());
+        assert!(self_join(&["only one".to_string()], &cfg).is_empty());
+    }
+
+    #[test]
+    fn zero_threshold_is_clamped_not_explosive() {
+        let cfg = JoinConfig::new(SetSimilarity::Jaccard, 0.0);
+        assert!(cfg.threshold > 0.0);
+        // Disjoint records have sim 0.0 < epsilon: not emitted.
+        let records = vec!["aaa bbb".to_string(), "ccc ddd".to_string()];
+        assert!(self_join(&records, &cfg).is_empty());
+    }
+}

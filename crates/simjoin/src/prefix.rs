@@ -1,0 +1,221 @@
+//! Prefix filtering for set-similarity joins.
+//!
+//! The classic observation (Chaudhuri et al. / PPJoin): order every token by
+//! a global total order (rarest first, so prefixes are selective). If two
+//! sets must share at least `t` tokens to reach the similarity threshold,
+//! then each set's *prefix* — its first `|x| - t + 1` tokens in the global
+//! order — must contain at least one shared token. Indexing only prefixes
+//! yields every candidate pair while probing a tiny fraction of the data.
+
+use crate::similarity::SetSimilarity;
+use std::collections::HashMap;
+
+/// A record mapped into the global token order: sorted ascending token ids
+/// (rarer token = smaller id).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderedRecord {
+    /// Original record index.
+    pub id: usize,
+    /// Token ids, ascending in the global (rarity) order, deduplicated.
+    pub tokens: Vec<u32>,
+}
+
+/// The global token order plus all records mapped into it.
+#[derive(Debug)]
+pub struct TokenUniverse {
+    /// token string -> id (ordered by ascending document frequency).
+    pub vocab: HashMap<String, u32>,
+    /// All records, each with ascending token ids.
+    pub records: Vec<OrderedRecord>,
+}
+
+/// Builds the rare-first global order over `token_sets` (each must be a
+/// deduplicated set; order within doesn't matter).
+pub fn build_universe(token_sets: &[Vec<String>]) -> TokenUniverse {
+    let mut freq: HashMap<&str, u32> = HashMap::new();
+    for set in token_sets {
+        for tok in set {
+            *freq.entry(tok.as_str()).or_insert(0) += 1;
+        }
+    }
+    // Sort tokens by (frequency asc, lexicographic) for a deterministic order.
+    let mut by_rarity: Vec<(&str, u32)> = freq.into_iter().collect();
+    by_rarity.sort_unstable_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(b.0)));
+    let vocab: HashMap<String, u32> =
+        by_rarity.iter().enumerate().map(|(i, (tok, _))| (tok.to_string(), i as u32)).collect();
+
+    let records = token_sets
+        .iter()
+        .enumerate()
+        .map(|(id, set)| {
+            let mut tokens: Vec<u32> = set.iter().map(|t| vocab[t.as_str()]).collect();
+            tokens.sort_unstable();
+            tokens.dedup();
+            OrderedRecord { id, tokens }
+        })
+        .collect();
+    TokenUniverse { vocab, records }
+}
+
+/// Length of the prefix that must be indexed for a record of `len` tokens
+/// under `measure`/`threshold` when joined against arbitrary partners.
+///
+/// If the record must share at least `t` tokens with every qualifying
+/// partner (see [`SetSimilarity::min_overlap_any_partner`]), then skipping
+/// its last `t - 1` tokens cannot skip *all* shared tokens, so indexing the
+/// first `len - t + 1` suffices.
+pub fn prefix_len(measure: SetSimilarity, len: usize, threshold: f64) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    let t = measure.min_overlap_any_partner(len, threshold).max(1);
+    len.saturating_sub(t) + 1
+}
+
+/// All candidate pairs `(i, j)` with `i < j` whose prefixes share a token.
+/// A superset of the true result — callers verify with the full measure.
+pub fn candidates(universe: &TokenUniverse, measure: SetSimilarity, threshold: f64) -> Vec<(usize, usize)> {
+    // Inverted index: token id -> record ids whose *prefix* contains it.
+    let mut index: HashMap<u32, Vec<usize>> = HashMap::new();
+    let mut seen: HashMap<(usize, usize), ()> = HashMap::new();
+    let mut out = Vec::new();
+
+    for rec in &universe.records {
+        let p = prefix_len(measure, rec.tokens.len(), threshold);
+        for &tok in &rec.tokens[..p] {
+            if let Some(hits) = index.get(&tok) {
+                for &other in hits {
+                    let key = (other.min(rec.id), other.max(rec.id));
+                    if seen.insert(key, ()).is_none() {
+                        out.push(key);
+                    }
+                }
+            }
+        }
+        for &tok in &rec.tokens[..p] {
+            index.entry(tok).or_default().push(rec.id);
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::intersection_size;
+    use crate::tokenize::word_set;
+
+    fn sets(records: &[&str]) -> Vec<Vec<String>> {
+        records.iter().map(|r| word_set(r)).collect()
+    }
+
+    #[test]
+    fn universe_orders_rare_first() {
+        let u = build_universe(&sets(&["a b common", "c common", "d common"]));
+        let common_id = u.vocab["common"];
+        for tok in ["a", "b", "c", "d"] {
+            assert!(u.vocab[tok] < common_id, "{tok} should order before 'common'");
+        }
+    }
+
+    #[test]
+    fn records_tokens_ascending_dedup() {
+        let u = build_universe(&sets(&["b a b a", "a c"]));
+        for rec in &u.records {
+            assert!(rec.tokens.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn prefix_len_bounds() {
+        // At threshold 1.0 the required overlap is the whole set: prefix = 1 token.
+        assert_eq!(prefix_len(SetSimilarity::Jaccard, 5, 1.0), 1);
+        // At threshold ~0 everything must be indexed.
+        assert_eq!(prefix_len(SetSimilarity::Jaccard, 5, 0.0), 5);
+        assert_eq!(prefix_len(SetSimilarity::Jaccard, 0, 0.5), 0);
+    }
+
+    /// The candidate set must be a superset of all truly-similar pairs
+    /// (completeness — the property CrowdER's recall depends on).
+    #[test]
+    fn candidates_superset_of_truth_exhaustive() {
+        let corpus = sets(&[
+            "apple iphone 6s 64gb",
+            "iphone 6s 64gb apple smartphone",
+            "samsung galaxy s7",
+            "galaxy s7 samsung phone",
+            "google pixel",
+            "apple ipad pro",
+            "ipad pro 12 inch apple",
+            "nokia brick",
+        ]);
+        for threshold in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            let u = build_universe(&corpus);
+            let cands = candidates(&u, SetSimilarity::Jaccard, threshold);
+            for i in 0..corpus.len() {
+                for j in i + 1..corpus.len() {
+                    let sim = SetSimilarity::Jaccard.compute(&corpus[i], &corpus[j]);
+                    if sim >= threshold && sim > 0.0 {
+                        assert!(
+                            cands.contains(&(i, j)),
+                            "missed pair ({i},{j}) sim={sim} at θ={threshold}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_prune_compared_to_all_pairs() {
+        // 40 records in two well-separated clusters: pruning must kick in.
+        let mut corpus = Vec::new();
+        for i in 0..20 {
+            corpus.push(format!("red apple fruit juice sweet rvariant{i}"));
+            corpus.push(format!("blue car vehicle engine fast bvariant{i}"));
+        }
+        let sets: Vec<Vec<String>> = corpus.iter().map(|s| word_set(s)).collect();
+        let u = build_universe(&sets);
+        let cands = candidates(&u, SetSimilarity::Jaccard, 0.6);
+        let all_pairs = corpus.len() * (corpus.len() - 1) / 2;
+        assert!(
+            cands.len() < all_pairs / 2,
+            "prefix filter pruned nothing: {} of {}",
+            cands.len(),
+            all_pairs
+        );
+        // And it still finds the within-cluster near-duplicates.
+        let apple_pair_sim = SetSimilarity::Jaccard
+            .compute(&sets[0], &sets[2]);
+        assert!(apple_pair_sim >= 0.6);
+        assert!(cands.contains(&(0, 2)));
+    }
+
+    #[test]
+    fn identical_records_always_candidates() {
+        let corpus = sets(&["exact copy of text", "exact copy of text"]);
+        let u = build_universe(&corpus);
+        let cands = candidates(&u, SetSimilarity::Jaccard, 1.0);
+        assert_eq!(cands, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn empty_records_never_crash() {
+        let corpus = sets(&["", "a b", ""]);
+        let u = build_universe(&corpus);
+        let cands = candidates(&u, SetSimilarity::Jaccard, 0.5);
+        // Empty records have empty prefixes: no candidates involving them.
+        assert!(cands.iter().all(|&(i, j)| i == 1 || j == 1 || (i != j)));
+    }
+
+    #[test]
+    fn intersection_consistency_with_candidates() {
+        let corpus = sets(&["w x y z", "w x y q", "totally different words"]);
+        let u = build_universe(&corpus);
+        // records 0,1 share 3 of 5 tokens — jaccard 0.6
+        assert_eq!(intersection_size(&corpus[0], &corpus[1]), 3);
+        let cands = candidates(&u, SetSimilarity::Jaccard, 0.6);
+        assert!(cands.contains(&(0, 1)));
+    }
+}

@@ -1,0 +1,297 @@
+//! Similarity measures over token sets and raw strings.
+//!
+//! All set measures take *sorted, deduplicated* slices (as produced by
+//! [`tokenize::word_set`](crate::tokenize::word_set)) so the intersection
+//! can be computed by a linear merge.
+
+/// Which set-overlap measure a join uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SetSimilarity {
+    /// `|x ∩ y| / |x ∪ y|` — the measure used throughout CrowdER.
+    Jaccard,
+    /// `2|x ∩ y| / (|x| + |y|)`.
+    Dice,
+    /// `|x ∩ y| / sqrt(|x|·|y|)` (binary cosine).
+    Cosine,
+    /// `|x ∩ y| / min(|x|, |y|)`.
+    Overlap,
+}
+
+impl SetSimilarity {
+    /// Computes the chosen measure over two sorted deduplicated token sets.
+    pub fn compute<T: Ord>(&self, x: &[T], y: &[T]) -> f64 {
+        let inter = intersection_size(x, y) as f64;
+        let (nx, ny) = (x.len() as f64, y.len() as f64);
+        if x.is_empty() && y.is_empty() {
+            // Two empty records are conventionally identical.
+            return 1.0;
+        }
+        match self {
+            SetSimilarity::Jaccard => inter / (nx + ny - inter),
+            SetSimilarity::Dice => 2.0 * inter / (nx + ny),
+            SetSimilarity::Cosine => {
+                if nx == 0.0 || ny == 0.0 {
+                    0.0
+                } else {
+                    inter / (nx * ny).sqrt()
+                }
+            }
+            SetSimilarity::Overlap => {
+                let m = nx.min(ny);
+                if m == 0.0 {
+                    0.0
+                } else {
+                    inter / m
+                }
+            }
+        }
+    }
+
+    /// Minimum number of shared tokens a set of size `n` must contribute to
+    /// reach `threshold` with **any** partner — the bound prefix filtering
+    /// builds on. The worst case is a partner no larger than the overlap
+    /// itself, which yields:
+    ///
+    /// * Jaccard: `o/(n + m - o) ≥ θ`, minimized at `m = o` ⇒ `o ≥ θ·n`
+    /// * Dice:    `2o/(n + m) ≥ θ`,   minimized at `m = o` ⇒ `o ≥ θ·n/(2-θ)`
+    /// * Cosine:  `o/√(n·m) ≥ θ`,     minimized at `m = o` ⇒ `o ≥ θ²·n`
+    /// * Overlap: `o/min(n,m) ≥ θ` with `m` free ⇒ only `o ≥ 1` (no pruning)
+    pub fn min_overlap_any_partner(&self, n: usize, threshold: f64) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        let n_f = n as f64;
+        let raw = match self {
+            SetSimilarity::Jaccard => threshold * n_f,
+            SetSimilarity::Dice => threshold * n_f / (2.0 - threshold),
+            SetSimilarity::Cosine => threshold * threshold * n_f,
+            SetSimilarity::Overlap => 1.0,
+        };
+        ((raw - 1e-9).ceil().max(1.0) as usize).min(n)
+    }
+
+    /// Minimum number of shared tokens required for two sets of sizes
+    /// `(nx, ny)` to reach `threshold`. Derived from the measure's
+    /// definition; used by length-aware filters and the tests.
+    pub fn overlap_lower_bound(&self, nx: usize, ny: usize, threshold: f64) -> usize {
+        let (nx, ny) = (nx as f64, ny as f64);
+        let raw = match self {
+            SetSimilarity::Jaccard => threshold / (1.0 + threshold) * (nx + ny),
+            SetSimilarity::Dice => threshold * (nx + ny) / 2.0,
+            SetSimilarity::Cosine => threshold * (nx * ny).sqrt(),
+            SetSimilarity::Overlap => threshold * nx.min(ny),
+        };
+        // ceil with a tiny epsilon so e.g. exactly-integral bounds survive
+        // floating point noise.
+        (raw - 1e-9).ceil().max(0.0) as usize
+    }
+}
+
+/// Size of the intersection of two sorted deduplicated slices (linear merge).
+pub fn intersection_size<T: Ord>(x: &[T], y: &[T]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < x.len() && j < y.len() {
+        match x[i].cmp(&y[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Levenshtein edit distance with the standard two-row DP.
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Banded edit distance: returns `None` early if the distance exceeds
+/// `max_dist`, skipping most of the DP table. Used when verification only
+/// needs "within k edits or not".
+pub fn edit_distance_within(a: &str, b: &str, max_dist: usize) -> Option<usize> {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.len().abs_diff(b.len()) > max_dist {
+        return None;
+    }
+    if a.is_empty() {
+        return Some(b.len());
+    }
+    if b.is_empty() {
+        return Some(a.len());
+    }
+    const INF: usize = usize::MAX / 2;
+    let mut prev = vec![INF; b.len() + 1];
+    let mut cur = vec![INF; b.len() + 1];
+    for (j, slot) in prev.iter_mut().enumerate().take(max_dist.min(b.len()) + 1) {
+        *slot = j;
+    }
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = (i + 1).saturating_sub(max_dist).max(1);
+        let hi = (i + 1 + max_dist).min(b.len());
+        if lo > hi {
+            return None;
+        }
+        cur[lo - 1] = if i + 1 <= max_dist { i + 1 } else { INF };
+        let mut row_min = cur[lo - 1];
+        for j in lo..=hi {
+            let cost = usize::from(ca != b[j - 1]);
+            let val = (prev[j - 1] + cost).min(prev[j] + 1).min(cur[j - 1] + 1);
+            cur[j] = val;
+            row_min = row_min.min(val);
+        }
+        if hi < b.len() {
+            cur[hi + 1..].fill(INF);
+        }
+        if row_min > max_dist {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        cur.fill(INF);
+    }
+    let d = prev[b.len()];
+    (d <= max_dist).then_some(d)
+}
+
+/// Normalized edit similarity: `1 - dist / max(|a|, |b|)` (1.0 for two
+/// empty strings).
+pub fn edit_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - edit_distance(a, b) as f64 / max_len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn jaccard_known_values() {
+        let x = s(&["a", "b", "c"]);
+        let y = s(&["b", "c", "d"]);
+        assert!((SetSimilarity::Jaccard.compute(&x, &y) - 0.5).abs() < 1e-12);
+        assert_eq!(SetSimilarity::Jaccard.compute(&x, &x), 1.0);
+        let z = s(&["x"]);
+        assert_eq!(SetSimilarity::Jaccard.compute(&x, &z), 0.0);
+    }
+
+    #[test]
+    fn dice_cosine_overlap_known_values() {
+        let x = s(&["a", "b"]);
+        let y = s(&["b", "c"]);
+        assert!((SetSimilarity::Dice.compute(&x, &y) - 0.5).abs() < 1e-12);
+        assert!((SetSimilarity::Cosine.compute(&x, &y) - 0.5).abs() < 1e-12);
+        assert!((SetSimilarity::Overlap.compute(&x, &y) - 0.5).abs() < 1e-12);
+        let sub = s(&["a"]);
+        assert_eq!(SetSimilarity::Overlap.compute(&x, &sub), 1.0);
+    }
+
+    #[test]
+    fn empty_set_conventions() {
+        let e: Vec<String> = vec![];
+        let x = s(&["a"]);
+        for m in [
+            SetSimilarity::Jaccard,
+            SetSimilarity::Dice,
+            SetSimilarity::Cosine,
+            SetSimilarity::Overlap,
+        ] {
+            assert_eq!(m.compute(&e, &e), 1.0, "{m:?} on empty/empty");
+            assert_eq!(m.compute(&e, &x), 0.0, "{m:?} on empty/nonempty");
+        }
+    }
+
+    #[test]
+    fn overlap_bound_is_tight_for_jaccard() {
+        // If two sets of size 4 must have Jaccard >= 0.5 they share >= ceil(0.5/1.5*8)=3 tokens.
+        assert_eq!(SetSimilarity::Jaccard.overlap_lower_bound(4, 4, 0.5), 3);
+        // sanity: bound never exceeds min size for equal-size sets at θ=1
+        assert_eq!(SetSimilarity::Jaccard.overlap_lower_bound(5, 5, 1.0), 5);
+    }
+
+    #[test]
+    fn intersection_merge() {
+        assert_eq!(intersection_size(&[1, 3, 5], &[2, 3, 5, 7]), 2);
+        assert_eq!(intersection_size::<u8>(&[], &[]), 0);
+        assert_eq!(intersection_size(&[1], &[1]), 1);
+    }
+
+    #[test]
+    fn edit_distance_known_values() {
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("same", "same"), 0);
+        assert_eq!(edit_distance("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn banded_matches_full_when_within() {
+        let cases = [("kitten", "sitting"), ("abcdef", "azcdef"), ("", ""), ("a", "b")];
+        for (a, b) in cases {
+            let full = edit_distance(a, b);
+            assert_eq!(edit_distance_within(a, b, full), Some(full), "{a} vs {b}");
+            assert_eq!(edit_distance_within(a, b, full + 2), Some(full));
+            if full > 0 {
+                assert_eq!(edit_distance_within(a, b, full - 1), None);
+            }
+        }
+    }
+
+    #[test]
+    fn banded_early_exit_on_length_gap() {
+        assert_eq!(edit_distance_within("ab", "abcdefgh", 3), None);
+    }
+
+    #[test]
+    fn edit_similarity_range() {
+        assert_eq!(edit_similarity("", ""), 1.0);
+        assert_eq!(edit_similarity("abc", "abc"), 1.0);
+        assert_eq!(edit_similarity("abc", "xyz"), 0.0);
+        let s = edit_similarity("kitten", "sitting");
+        assert!(s > 0.0 && s < 1.0);
+    }
+
+    #[test]
+    fn similarity_is_symmetric() {
+        let x = s(&["a", "b", "c", "d"]);
+        let y = s(&["c", "d", "e"]);
+        for m in [
+            SetSimilarity::Jaccard,
+            SetSimilarity::Dice,
+            SetSimilarity::Cosine,
+            SetSimilarity::Overlap,
+        ] {
+            assert_eq!(m.compute(&x, &y), m.compute(&y, &x));
+        }
+        assert_eq!(edit_distance("abc", "acbd"), edit_distance("acbd", "abc"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the similarity-join substrate.
+//!
+//! The property CrowdER's correctness rests on: the prefix-filtered join
+//! returns *exactly* the pairs the brute-force oracle returns — for any
+//! corpus, measure, and threshold. Plus metric sanity for edit distance.
+
+use proptest::prelude::*;
+use reprowd_simjoin::join::{brute_force_self_join, self_join, JoinConfig};
+use reprowd_simjoin::similarity::{edit_distance, edit_distance_within, SetSimilarity};
+use reprowd_simjoin::tokenize::{qgram_set, word_set};
+
+/// Short records over a tiny vocabulary, so collisions are common.
+fn record_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop::sample::select(vec![
+            "apple", "pear", "ibm", "phone", "red", "blue", "pro", "max", "mini", "x",
+        ]),
+        0..6,
+    )
+    .prop_map(|words| words.join(" "))
+}
+
+fn measure_strategy() -> impl Strategy<Value = SetSimilarity> {
+    prop::sample::select(vec![
+        SetSimilarity::Jaccard,
+        SetSimilarity::Dice,
+        SetSimilarity::Cosine,
+        SetSimilarity::Overlap,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    #[test]
+    fn filtered_join_equals_oracle(
+        records in prop::collection::vec(record_strategy(), 0..25),
+        measure in measure_strategy(),
+        threshold in 0.05f64..=1.0,
+    ) {
+        let cfg = JoinConfig::new(measure, threshold);
+        let fast = self_join(&records, &cfg);
+        let slow = brute_force_self_join(&records, &cfg);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn edit_distance_is_a_metric(
+        a in "[a-c]{0,8}",
+        b in "[a-c]{0,8}",
+        c in "[a-c]{0,8}",
+    ) {
+        let dab = edit_distance(&a, &b);
+        let dba = edit_distance(&b, &a);
+        prop_assert_eq!(dab, dba); // symmetry
+        prop_assert_eq!(edit_distance(&a, &a), 0); // identity
+        if a != b {
+            prop_assert!(dab > 0);
+        }
+        // triangle inequality
+        let dac = edit_distance(&a, &c);
+        let dcb = edit_distance(&c, &b);
+        prop_assert!(dab <= dac + dcb);
+    }
+
+    #[test]
+    fn banded_edit_distance_agrees_with_full(
+        a in "[a-d]{0,10}",
+        b in "[a-d]{0,10}",
+        band in 0usize..12,
+    ) {
+        let full = edit_distance(&a, &b);
+        match edit_distance_within(&a, &b, band) {
+            Some(d) => {
+                prop_assert_eq!(d, full);
+                prop_assert!(d <= band);
+            }
+            None => prop_assert!(full > band),
+        }
+    }
+
+    #[test]
+    fn tokenization_is_idempotent_and_sorted(s in ".{0,40}") {
+        let w1 = word_set(&s);
+        let rejoined = w1.join(" ");
+        let w2 = word_set(&rejoined);
+        prop_assert_eq!(&w1, &w2);
+        prop_assert!(w1.windows(2).all(|w| w[0] < w[1]));
+
+        let q = qgram_set(&s, 2);
+        prop_assert!(q.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn similarity_bounded_and_reflexive(
+        a in record_strategy(),
+        b in record_strategy(),
+        measure in measure_strategy(),
+    ) {
+        let sa = word_set(&a);
+        let sb = word_set(&b);
+        let sim = measure.compute(&sa, &sb);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&sim), "sim out of range: {}", sim);
+        prop_assert_eq!(measure.compute(&sa, &sa), 1.0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Atomic multi-operation batches.
+//!
+//! Publishing one crowdsourcing task writes several keys (the task row, the
+//! project's task index, counters). If the process dies between those writes
+//! the store must not be left half-updated — the paper's rerun-after-crash
+//! guarantee assumes each *step* is all-or-nothing. A [`Batch`] is encoded as
+//! a single log record, so recovery sees either the whole batch or none of it.
+//!
+//! ## Wire format
+//!
+//! ```text
+//! batch   := count:u32 op*
+//! op      := SET(0x01) klen:u32 key vlen:u32 value
+//!          | DEL(0x02) klen:u32 key
+//! ```
+//!
+//! A single `set`/`delete` is stored as a one-op batch, keeping the replay
+//! path uniform.
+
+use crate::error::{Error, Result};
+
+/// One mutation inside a [`Batch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Insert or overwrite `key` with `value`.
+    Set { key: Vec<u8>, value: Vec<u8> },
+    /// Remove `key` (a no-op if absent).
+    Delete { key: Vec<u8> },
+}
+
+impl Op {
+    /// The key this operation touches.
+    pub fn key(&self) -> &[u8] {
+        match self {
+            Op::Set { key, .. } | Op::Delete { key } => key,
+        }
+    }
+}
+
+const TAG_SET: u8 = 0x01;
+const TAG_DEL: u8 = 0x02;
+
+/// An ordered group of operations applied atomically.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Batch {
+    ops: Vec<Op>,
+}
+
+impl Batch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Batch { ops: Vec::new() }
+    }
+
+    /// Creates a batch expecting roughly `n` operations.
+    pub fn with_capacity(n: usize) -> Self {
+        Batch { ops: Vec::with_capacity(n) }
+    }
+
+    /// Queues an insert/overwrite.
+    pub fn set(&mut self, key: impl Into<Vec<u8>>, value: impl Into<Vec<u8>>) -> &mut Self {
+        self.ops.push(Op::Set { key: key.into(), value: value.into() });
+        self
+    }
+
+    /// Queues a deletion.
+    pub fn delete(&mut self, key: impl Into<Vec<u8>>) -> &mut Self {
+        self.ops.push(Op::Delete { key: key.into() });
+        self
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The queued operations, in application order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Consumes the batch, yielding its operations.
+    pub fn into_ops(self) -> Vec<Op> {
+        self.ops
+    }
+
+    /// Serializes the batch to the wire format described in the module docs.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(
+            4 + self
+                .ops
+                .iter()
+                .map(|op| match op {
+                    Op::Set { key, value } => 9 + key.len() + value.len(),
+                    Op::Delete { key } => 5 + key.len(),
+                })
+                .sum::<usize>(),
+        );
+        buf.extend_from_slice(&(self.ops.len() as u32).to_le_bytes());
+        for op in &self.ops {
+            match op {
+                Op::Set { key, value } => {
+                    buf.push(TAG_SET);
+                    buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
+                    buf.extend_from_slice(key);
+                    buf.extend_from_slice(&(value.len() as u32).to_le_bytes());
+                    buf.extend_from_slice(value);
+                }
+                Op::Delete { key } => {
+                    buf.push(TAG_DEL);
+                    buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
+                    buf.extend_from_slice(key);
+                }
+            }
+        }
+        buf
+    }
+
+    /// Parses a batch from the wire format.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let mut cursor = Cursor { buf, pos: 0 };
+        let count = cursor.u32()? as usize;
+        let mut ops = Vec::with_capacity(count.min(1 << 16));
+        for _ in 0..count {
+            let tag = cursor.u8()?;
+            match tag {
+                TAG_SET => {
+                    let key = cursor.bytes()?;
+                    let value = cursor.bytes()?;
+                    ops.push(Op::Set { key, value });
+                }
+                TAG_DEL => {
+                    let key = cursor.bytes()?;
+                    ops.push(Op::Delete { key });
+                }
+                other => {
+                    return Err(Error::Corrupt {
+                        offset: cursor.pos as u64,
+                        reason: format!("unknown batch op tag 0x{other:02x}"),
+                    })
+                }
+            }
+        }
+        if cursor.pos != buf.len() {
+            return Err(Error::Corrupt {
+                offset: cursor.pos as u64,
+                reason: format!("{} trailing bytes after batch", buf.len() - cursor.pos),
+            });
+        }
+        Ok(Batch { ops })
+    }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8> {
+        let b = *self.buf.get(self.pos).ok_or_else(|| self.short("u8"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        let end = self.pos + 4;
+        let s = self.buf.get(self.pos..end).ok_or_else(|| self.short("u32"))?;
+        self.pos = end;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>> {
+        let len = self.u32()? as usize;
+        let end = self.pos.checked_add(len).ok_or_else(|| self.short("length overflow"))?;
+        let s = self.buf.get(self.pos..end).ok_or_else(|| self.short("bytes body"))?;
+        self.pos = end;
+        Ok(s.to_vec())
+    }
+
+    fn short(&self, what: &str) -> Error {
+        Error::Corrupt { offset: self.pos as u64, reason: format!("batch decode: short read at {what}") }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_empty() {
+        let b = Batch::new();
+        assert_eq!(Batch::decode(&b.encode()).unwrap(), b);
+    }
+
+    #[test]
+    fn roundtrip_mixed_ops() {
+        let mut b = Batch::new();
+        b.set(b"k1".to_vec(), b"v1".to_vec());
+        b.delete(b"k2".to_vec());
+        b.set(b"".to_vec(), b"".to_vec()); // empty key and value are legal
+        b.set(b"k3".to_vec(), vec![0u8; 1024]);
+        let decoded = Batch::decode(&b.encode()).unwrap();
+        assert_eq!(decoded, b);
+        assert_eq!(decoded.len(), 4);
+    }
+
+    #[test]
+    fn decode_rejects_unknown_tag() {
+        let mut buf = 1u32.to_le_bytes().to_vec();
+        buf.push(0x7F);
+        assert!(Batch::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let mut b = Batch::new();
+        b.set(b"k".to_vec(), b"v".to_vec());
+        let mut buf = b.encode();
+        buf.push(0x00);
+        assert!(Batch::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_truncation_at_every_point() {
+        let mut b = Batch::new();
+        b.set(b"key-one".to_vec(), b"value-one".to_vec());
+        b.delete(b"key-two".to_vec());
+        let buf = b.encode();
+        for cut in 0..buf.len() {
+            assert!(Batch::decode(&buf[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn builder_is_chainable_and_ordered() {
+        let mut b = Batch::new();
+        b.set(b"a".to_vec(), b"1".to_vec()).delete(b"a".to_vec()).set(b"a".to_vec(), b"2".to_vec());
+        let ops = b.ops();
+        assert!(matches!(&ops[0], Op::Set { .. }));
+        assert!(matches!(&ops[1], Op::Delete { .. }));
+        assert!(matches!(&ops[2], Op::Set { value, .. } if value == b"2"));
+    }
+
+    #[test]
+    fn op_key_accessor() {
+        let s = Op::Set { key: b"k".to_vec(), value: b"v".to_vec() };
+        let d = Op::Delete { key: b"q".to_vec() };
+        assert_eq!(s.key(), b"k");
+        assert_eq!(d.key(), b"q");
+    }
+}

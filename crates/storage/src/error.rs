@@ -1,0 +1,92 @@
+//! Error and result types for the storage layer.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Everything that can go wrong inside the storage layer.
+#[derive(Debug)]
+pub enum Error {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// A record failed its CRC or framing check.
+    ///
+    /// During recovery this is handled internally (the log is truncated at
+    /// the torn tail); surfacing it from any other path indicates real
+    /// on-disk corruption beyond the final record.
+    Corrupt {
+        /// Byte offset of the offending record within the log file.
+        offset: u64,
+        /// Human-readable description of the framing violation.
+        reason: String,
+    },
+    /// A value could not be (de)serialized by the typed [`Table`] layer.
+    ///
+    /// [`Table`]: crate::table::Table
+    Codec(String),
+    /// The store was asked for something structurally impossible, e.g. a
+    /// record larger than [`MAX_RECORD_LEN`](crate::record::MAX_RECORD_LEN).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "storage I/O error: {e}"),
+            Error::Corrupt { offset, reason } => {
+                write!(f, "corrupt record at offset {offset}: {reason}")
+            }
+            Error::Codec(msg) => write!(f, "codec error: {msg}"),
+            Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for Error {
+    fn from(e: serde_json::Error) -> Self {
+        Error::Codec(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_io() {
+        let e = Error::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn display_corrupt_mentions_offset() {
+        let e = Error::Corrupt { offset: 77, reason: "bad crc".into() };
+        let s = e.to_string();
+        assert!(s.contains("77") && s.contains("bad crc"));
+    }
+
+    #[test]
+    fn source_of_io_error_is_inner() {
+        use std::error::Error as _;
+        let e = Error::from(std::io::Error::new(std::io::ErrorKind::Other, "x"));
+        assert!(e.source().is_some());
+        let e = Error::Codec("y".into());
+        assert!(e.source().is_none());
+    }
+}

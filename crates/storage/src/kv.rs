@@ -1,0 +1,501 @@
+//! The key-value store: [`Backend`] trait and the durable [`DiskStore`].
+//!
+//! `DiskStore` keeps the full live key set in memory (a `BTreeMap`, so
+//! prefix scans are ordered) and makes every mutation durable by appending a
+//! one-record [`Batch`] to the log. Reprowd databases hold crowdsourced
+//! answers — thousands to a few million small rows — so an in-memory index
+//! with a replayable log is the sweet spot: recovery is a single sequential
+//! scan, and the whole database remains one file that can be shipped to
+//! another researcher.
+
+use crate::batch::{Batch, Op};
+use crate::error::Result;
+use crate::log::LogFile;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// When the log is fsynced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Never fsync automatically; the OS flushes when it pleases. Fastest,
+    /// used for benchmarks and tests. Data still survives *process* crashes
+    /// (the file is written), just not OS/power failures.
+    Never,
+    /// fsync after every logical write (single op or batch). Slowest,
+    /// survives power failure.
+    Always,
+    /// fsync after every `n` logical writes.
+    EveryN(u32),
+}
+
+/// What recovery found when opening a [`DiskStore`].
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Log records (batches) replayed.
+    pub records: u64,
+    /// Bytes of torn tail discarded.
+    pub truncated_bytes: u64,
+    /// Why the tail was discarded, if it was.
+    pub truncate_reason: Option<String>,
+    /// Live keys after replay.
+    pub live_keys: usize,
+}
+
+/// Point-in-time statistics about a store.
+#[derive(Debug, Clone, Default)]
+pub struct StoreStats {
+    /// Live keys currently visible.
+    pub live_keys: usize,
+    /// Bytes occupied by the log on disk (0 for memory stores).
+    pub log_bytes: u64,
+    /// Total logical write operations applied since open.
+    pub writes: u64,
+    /// Estimated fraction of the log occupied by superseded records, in
+    /// [0, 1]. Only meaningful for disk stores.
+    pub garbage_ratio: f64,
+}
+
+/// The storage abstraction consumed by the rest of Reprowd.
+///
+/// Implementations must be thread-safe: `CrowdContext` is shared across
+/// operator pipelines.
+pub trait Backend: Send + Sync {
+    /// Inserts or overwrites one key.
+    fn set(&self, key: &[u8], value: &[u8]) -> Result<()>;
+    /// Fetches a key's current value.
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>>;
+    /// Removes a key. Removing an absent key is not an error.
+    fn delete(&self, key: &[u8]) -> Result<()>;
+    /// Returns all `(key, value)` pairs whose key starts with `prefix`,
+    /// in ascending key order.
+    fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>>;
+    /// Applies all operations in `batch` atomically.
+    fn apply_batch(&self, batch: Batch) -> Result<()>;
+    /// Returns true if `key` is present (default: via `get`).
+    fn contains(&self, key: &[u8]) -> Result<bool> {
+        Ok(self.get(key)?.is_some())
+    }
+    /// Forces buffered writes to stable storage.
+    fn flush(&self) -> Result<()>;
+    /// Current statistics.
+    fn stats(&self) -> StoreStats;
+}
+
+struct DiskInner {
+    map: BTreeMap<Vec<u8>, Vec<u8>>,
+    log: LogFile,
+    writes_since_sync: u32,
+    writes_total: u64,
+    /// Records appended since open plus records replayed; used with
+    /// `map.len()` to estimate garbage.
+    records_total: u64,
+}
+
+/// Durable [`Backend`] backed by a single append-only log file.
+pub struct DiskStore {
+    inner: Mutex<DiskInner>,
+    policy: SyncPolicy,
+    path: PathBuf,
+    recovery: RecoveryReport,
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) the store at `path`, replaying the log and
+    /// truncating any torn tail left by a crash.
+    pub fn open(path: impl AsRef<Path>, policy: SyncPolicy) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut map = BTreeMap::new();
+        let mut ops_replayed: u64 = 0;
+        let (log, open_report) = LogFile::open(&path, |payload| {
+            let batch = Batch::decode(payload)?;
+            ops_replayed += batch.len() as u64;
+            apply_to_map(&mut map, batch.into_ops());
+            Ok(())
+        })?;
+        let recovery = RecoveryReport {
+            records: open_report.records,
+            truncated_bytes: open_report.truncated_bytes,
+            truncate_reason: open_report.truncate_reason,
+            live_keys: map.len(),
+        };
+        Ok(DiskStore {
+            inner: Mutex::new(DiskInner {
+                map,
+                log,
+                writes_since_sync: 0,
+                writes_total: 0,
+                records_total: ops_replayed,
+            }),
+            policy,
+            path,
+            recovery,
+        })
+    }
+
+    /// What recovery observed when this store was opened.
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// Path of the backing log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Rewrites the log so it contains exactly the live key set, reclaiming
+    /// space held by overwritten or deleted records. Returns bytes saved.
+    ///
+    /// The rewrite goes to `<path>.compact` and is atomically renamed over
+    /// the original, so a crash during compaction leaves either the old or
+    /// the new complete log — never a mix.
+    pub fn compact(&self) -> Result<u64> {
+        let mut inner = self.inner.lock();
+        let before = inner.log.len();
+        let tmp_path = self.path.with_extension("compact");
+        let _ = std::fs::remove_file(&tmp_path);
+        {
+            let (mut new_log, _) = LogFile::open(&tmp_path, |_| Ok(()))?;
+            // One batch per key keeps individual records small; the whole
+            // rewrite doesn't need to be atomic because the rename is.
+            for (k, v) in inner.map.iter() {
+                let mut b = Batch::with_capacity(1);
+                b.set(k.clone(), v.clone());
+                new_log.append(&b.encode())?;
+            }
+            new_log.sync()?;
+        }
+        std::fs::rename(&tmp_path, &self.path)?;
+        // Reopen the renamed file as our active log (no replay needed — the
+        // in-memory map is already authoritative).
+        let (log, _) = LogFile::open(&self.path, |_| Ok(()))?;
+        inner.log = log;
+        inner.records_total = inner.map.len() as u64;
+        Ok(before.saturating_sub(inner.log.len()))
+    }
+
+    /// Writes a point-in-time copy of the live set to `dest` (a fresh,
+    /// already-compact database file suitable for sharing).
+    pub fn snapshot(&self, dest: impl AsRef<Path>) -> Result<()> {
+        let inner = self.inner.lock();
+        let dest = dest.as_ref();
+        let _ = std::fs::remove_file(dest);
+        let (mut log, _) = LogFile::open(dest, |_| Ok(()))?;
+        for (k, v) in inner.map.iter() {
+            let mut b = Batch::with_capacity(1);
+            b.set(k.clone(), v.clone());
+            log.append(&b.encode())?;
+        }
+        log.sync()?;
+        Ok(())
+    }
+
+    fn write_batch(&self, batch: Batch) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let mut inner = self.inner.lock();
+        let encoded = batch.encode();
+        inner.log.append(&encoded)?;
+        inner.records_total += batch.len() as u64;
+        inner.writes_total += 1;
+        apply_to_map(&mut inner.map, batch.into_ops());
+        match self.policy {
+            SyncPolicy::Never => {}
+            SyncPolicy::Always => inner.log.sync()?,
+            SyncPolicy::EveryN(n) => {
+                inner.writes_since_sync += 1;
+                if inner.writes_since_sync >= n {
+                    inner.log.sync()?;
+                    inner.writes_since_sync = 0;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn apply_to_map(map: &mut BTreeMap<Vec<u8>, Vec<u8>>, ops: Vec<Op>) {
+    for op in ops {
+        match op {
+            Op::Set { key, value } => {
+                map.insert(key, value);
+            }
+            Op::Delete { key } => {
+                map.remove(&key);
+            }
+        }
+    }
+}
+
+impl Backend for DiskStore {
+    fn set(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        let mut b = Batch::with_capacity(1);
+        b.set(key.to_vec(), value.to_vec());
+        self.write_batch(b)
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        Ok(self.inner.lock().map.get(key).cloned())
+    }
+
+    fn delete(&self, key: &[u8]) -> Result<()> {
+        let mut b = Batch::with_capacity(1);
+        b.delete(key.to_vec());
+        self.write_batch(b)
+    }
+
+    fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let inner = self.inner.lock();
+        Ok(scan_map_prefix(&inner.map, prefix))
+    }
+
+    fn apply_batch(&self, batch: Batch) -> Result<()> {
+        self.write_batch(batch)
+    }
+
+    fn contains(&self, key: &[u8]) -> Result<bool> {
+        Ok(self.inner.lock().map.contains_key(key))
+    }
+
+    fn flush(&self) -> Result<()> {
+        self.inner.lock().log.sync()
+    }
+
+    fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock();
+        let live = inner.map.len() as u64;
+        let total = inner.records_total.max(1);
+        StoreStats {
+            live_keys: inner.map.len(),
+            log_bytes: inner.log.len(),
+            writes: inner.writes_total,
+            garbage_ratio: 1.0 - (live.min(total) as f64 / total as f64),
+        }
+    }
+}
+
+/// Ordered prefix scan over a `BTreeMap` using range bounds (no full walk).
+pub(crate) fn scan_map_prefix(
+    map: &BTreeMap<Vec<u8>, Vec<u8>>,
+    prefix: &[u8],
+) -> Vec<(Vec<u8>, Vec<u8>)> {
+    if prefix.is_empty() {
+        return map.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+    }
+    let mut end = prefix.to_vec();
+    // Compute the smallest byte string strictly greater than every string
+    // with this prefix: increment the last non-0xFF byte.
+    let upper = loop {
+        match end.last_mut() {
+            Some(b) if *b < 0xFF => {
+                *b += 1;
+                break Some(end);
+            }
+            Some(_) => {
+                end.pop();
+            }
+            None => break None,
+        }
+    };
+    let iter: Box<dyn Iterator<Item = (&Vec<u8>, &Vec<u8>)>> = match upper {
+        Some(upper) => Box::new(map.range(prefix.to_vec()..upper)),
+        None => Box::new(map.range(prefix.to_vec()..)),
+    };
+    iter.map(|(k, v)| (k.clone(), v.clone())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("reprowd-kv-tests-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        let _ = fs::remove_file(&p);
+        let _ = fs::remove_file(p.with_extension("compact"));
+        p
+    }
+
+    #[test]
+    fn set_get_delete_roundtrip() {
+        let store = DiskStore::open(tmp("sgd.rwlog"), SyncPolicy::Never).unwrap();
+        assert_eq!(store.get(b"k").unwrap(), None);
+        store.set(b"k", b"v1").unwrap();
+        assert_eq!(store.get(b"k").unwrap().as_deref(), Some(&b"v1"[..]));
+        store.set(b"k", b"v2").unwrap();
+        assert_eq!(store.get(b"k").unwrap().as_deref(), Some(&b"v2"[..]));
+        store.delete(b"k").unwrap();
+        assert_eq!(store.get(b"k").unwrap(), None);
+        // Deleting a missing key is fine.
+        store.delete(b"k").unwrap();
+    }
+
+    #[test]
+    fn persistence_across_reopen() {
+        let path = tmp("persist.rwlog");
+        {
+            let store = DiskStore::open(&path, SyncPolicy::Always).unwrap();
+            store.set(b"a", b"1").unwrap();
+            store.set(b"b", b"2").unwrap();
+            store.delete(b"a").unwrap();
+        }
+        let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+        assert_eq!(store.get(b"a").unwrap(), None);
+        assert_eq!(store.get(b"b").unwrap().as_deref(), Some(&b"2"[..]));
+        assert_eq!(store.recovery_report().records, 3);
+        assert_eq!(store.recovery_report().live_keys, 1);
+    }
+
+    #[test]
+    fn batch_is_atomic_under_torn_tail() {
+        let path = tmp("atomic.rwlog");
+        {
+            let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+            store.set(b"pre", b"x").unwrap();
+            let mut b = Batch::new();
+            b.set(b"t1".to_vec(), b"v".to_vec());
+            b.set(b"t2".to_vec(), b"v".to_vec());
+            b.set(b"t3".to_vec(), b"v".to_vec());
+            store.apply_batch(b).unwrap();
+        }
+        // Chop bytes off the end of the file, landing inside the batch record.
+        let len = fs::metadata(&path).unwrap().len();
+        let f = fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 5).unwrap();
+        drop(f);
+
+        let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+        // The torn batch must vanish entirely: no t1/t2/t3, but `pre` intact.
+        assert_eq!(store.get(b"pre").unwrap().as_deref(), Some(&b"x"[..]));
+        assert_eq!(store.get(b"t1").unwrap(), None);
+        assert_eq!(store.get(b"t2").unwrap(), None);
+        assert_eq!(store.get(b"t3").unwrap(), None);
+        assert!(store.recovery_report().truncated_bytes > 0);
+    }
+
+    #[test]
+    fn scan_prefix_ordered_and_bounded() {
+        let store = DiskStore::open(tmp("scan.rwlog"), SyncPolicy::Never).unwrap();
+        for k in ["task/1", "task/2", "task/10", "result/1", "taskz"] {
+            store.set(k.as_bytes(), b"v").unwrap();
+        }
+        let hits = store.scan_prefix(b"task/").unwrap();
+        let keys: Vec<&str> =
+            hits.iter().map(|(k, _)| std::str::from_utf8(k).unwrap()).collect();
+        assert_eq!(keys, vec!["task/1", "task/10", "task/2"]); // byte order
+        assert_eq!(store.scan_prefix(b"missing/").unwrap().len(), 0);
+        assert_eq!(store.scan_prefix(b"").unwrap().len(), 5);
+    }
+
+    #[test]
+    fn scan_prefix_with_0xff_boundary() {
+        let store = DiskStore::open(tmp("scanff.rwlog"), SyncPolicy::Never).unwrap();
+        store.set(&[0xFF, 0x01], b"a").unwrap();
+        store.set(&[0xFF, 0xFF], b"b").unwrap();
+        store.set(&[0xFE], b"c").unwrap();
+        let hits = store.scan_prefix(&[0xFF]).unwrap();
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn compaction_shrinks_and_preserves() {
+        let path = tmp("compact.rwlog");
+        let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+        for round in 0..20 {
+            for i in 0..50 {
+                store.set(format!("key/{i}").as_bytes(), format!("round-{round}").as_bytes()).unwrap();
+            }
+        }
+        let before = store.stats();
+        assert!(before.garbage_ratio > 0.9, "expected mostly garbage, got {}", before.garbage_ratio);
+        let saved = store.compact().unwrap();
+        assert!(saved > 0);
+        let after = store.stats();
+        assert_eq!(after.live_keys, 50);
+        assert!(after.log_bytes < before.log_bytes);
+        assert!(after.garbage_ratio < 0.01);
+        // Values survive compaction and a reopen.
+        drop(store);
+        let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+        for i in 0..50 {
+            assert_eq!(
+                store.get(format!("key/{i}").as_bytes()).unwrap().as_deref(),
+                Some(&b"round-19"[..])
+            );
+        }
+    }
+
+    #[test]
+    fn store_is_writable_after_compaction() {
+        let path = tmp("compact-write.rwlog");
+        let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+        store.set(b"a", b"1").unwrap();
+        store.compact().unwrap();
+        store.set(b"b", b"2").unwrap();
+        drop(store);
+        let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+        assert_eq!(store.get(b"a").unwrap().as_deref(), Some(&b"1"[..]));
+        assert_eq!(store.get(b"b").unwrap().as_deref(), Some(&b"2"[..]));
+    }
+
+    #[test]
+    fn snapshot_is_independent_copy() {
+        let src_path = tmp("snap-src.rwlog");
+        let dst_path = tmp("snap-dst.rwlog");
+        let store = DiskStore::open(&src_path, SyncPolicy::Never).unwrap();
+        store.set(b"k", b"v").unwrap();
+        store.snapshot(&dst_path).unwrap();
+        store.set(b"k", b"changed").unwrap();
+
+        let copy = DiskStore::open(&dst_path, SyncPolicy::Never).unwrap();
+        assert_eq!(copy.get(b"k").unwrap().as_deref(), Some(&b"v"[..]));
+        assert_eq!(store.get(b"k").unwrap().as_deref(), Some(&b"changed"[..]));
+    }
+
+    #[test]
+    fn sync_policies_accept_writes() {
+        for policy in [SyncPolicy::Never, SyncPolicy::Always, SyncPolicy::EveryN(3)] {
+            let store =
+                DiskStore::open(tmp(&format!("policy-{policy:?}.rwlog")), policy).unwrap();
+            for i in 0..10u32 {
+                store.set(&i.to_le_bytes(), b"v").unwrap();
+            }
+            assert_eq!(store.stats().live_keys, 10);
+        }
+    }
+
+    #[test]
+    fn stats_track_writes() {
+        let store = DiskStore::open(tmp("stats.rwlog"), SyncPolicy::Never).unwrap();
+        assert_eq!(store.stats().writes, 0);
+        store.set(b"a", b"1").unwrap();
+        store.set(b"a", b"2").unwrap();
+        let mut b = Batch::new();
+        b.set(b"x".to_vec(), b"y".to_vec());
+        store.apply_batch(b).unwrap();
+        let s = store.stats();
+        assert_eq!(s.writes, 3);
+        assert_eq!(s.live_keys, 2);
+        assert!(s.log_bytes > 0);
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let store = DiskStore::open(tmp("emptybatch.rwlog"), SyncPolicy::Never).unwrap();
+        let before = store.stats().log_bytes;
+        store.apply_batch(Batch::new()).unwrap();
+        assert_eq!(store.stats().log_bytes, before);
+    }
+
+    #[test]
+    fn contains_matches_get() {
+        let store = DiskStore::open(tmp("contains.rwlog"), SyncPolicy::Never).unwrap();
+        assert!(!store.contains(b"k").unwrap());
+        store.set(b"k", b"").unwrap(); // empty value is still present
+        assert!(store.contains(b"k").unwrap());
+        assert_eq!(store.get(b"k").unwrap().as_deref(), Some(&b""[..]));
+    }
+}

@@ -1,0 +1,59 @@
+//! # reprowd-storage
+//!
+//! An embedded, crash-safe, append-only key-value and table store.
+//!
+//! This crate is the *database* box of the Reprowd architecture (paper
+//! Figure 1). The paper's "sharable" requirement says that the `task` and
+//! `result` columns of a `CrowdData` experiment must be stored persistently
+//! so that "when the program is crashed, rerunning the program is as if it
+//! has never crashed". The original system delegated that to SQLite; this
+//! crate provides the equivalent guarantees from scratch:
+//!
+//! * **Durable appends** — every mutation is framed as a length- and
+//!   CRC32-checked record in a single append-only log file ([`record`],
+//!   [`log`]).
+//! * **Torn-tail recovery** — reopening a store after a crash replays the log
+//!   and truncates at the first corrupt/partial record, so a crash mid-write
+//!   loses at most the write in flight and never corrupts earlier data.
+//! * **Atomic batches** — a multi-operation [`Batch`] is framed as one
+//!   record: after recovery either all of its operations are visible or none
+//!   are ([`batch`]).
+//! * **Compaction & snapshots** — the live set can be rewritten to drop
+//!   superseded records ([`DiskStore::compact`]) or exported to a new file
+//!   ([`DiskStore::snapshot`]) that a second researcher can ship alongside
+//!   their code, exactly like the paper's "share the code along with the
+//!   database file" workflow.
+//!
+//! Two interchangeable backends implement the [`Backend`] trait:
+//! [`DiskStore`] (durable) and [`MemoryStore`] (tests, benchmarks).
+//! [`table::Table`] layers typed, serde-encoded rows on top of either.
+//!
+//! ```
+//! use reprowd_storage::{DiskStore, Backend, SyncPolicy};
+//! let dir = std::env::temp_dir().join(format!("rwd-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let path = dir.join("example.rwlog");
+//! # let _ = std::fs::remove_file(&path);
+//! let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+//! store.set(b"answer", b"42").unwrap();
+//! drop(store);
+//! // Reopening replays the log: the write survives.
+//! let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+//! assert_eq!(store.get(b"answer").unwrap().as_deref(), Some(&b"42"[..]));
+//! # std::fs::remove_file(&path).unwrap();
+//! ```
+
+pub mod batch;
+pub mod crc;
+pub mod error;
+pub mod kv;
+pub mod log;
+pub mod memory;
+pub mod record;
+pub mod table;
+
+pub use batch::{Batch, Op};
+pub use error::{Error, Result};
+pub use kv::{Backend, DiskStore, RecoveryReport, StoreStats, SyncPolicy};
+pub use memory::MemoryStore;
+pub use table::Table;

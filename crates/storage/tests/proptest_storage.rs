@@ -1,0 +1,191 @@
+//! Property-based tests for the storage engine's core invariants:
+//!
+//! 1. A `DiskStore` replayed from disk equals the in-memory model of the
+//!    operations applied to it (durability / replay fidelity).
+//! 2. Truncating the log at *any* byte position yields the state of some
+//!    prefix of the applied batches — never a partially-applied batch
+//!    (atomicity under torn writes).
+//! 3. `scan_prefix` equals a filter over the model map.
+
+use proptest::prelude::*;
+use reprowd_storage::{Backend, Batch, DiskStore, SyncPolicy};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn tmp_path() -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("reprowd-storage-proptest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("case-{}.rwlog", COUNTER.fetch_add(1, Ordering::Relaxed)))
+}
+
+/// One logical mutation in a generated scenario.
+#[derive(Debug, Clone)]
+enum ModelOp {
+    Set(Vec<u8>, Vec<u8>),
+    Delete(Vec<u8>),
+    Batch(Vec<(bool, Vec<u8>, Vec<u8>)>), // (is_set, key, value)
+}
+
+fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+    // Small key space so overwrites and deletes actually collide.
+    prop::collection::vec(prop::num::u8::ANY, 1..6)
+}
+
+fn value_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(prop::num::u8::ANY, 0..32)
+}
+
+fn op_strategy() -> impl Strategy<Value = ModelOp> {
+    prop_oneof![
+        (key_strategy(), value_strategy()).prop_map(|(k, v)| ModelOp::Set(k, v)),
+        key_strategy().prop_map(ModelOp::Delete),
+        prop::collection::vec((any::<bool>(), key_strategy(), value_strategy()), 1..5)
+            .prop_map(ModelOp::Batch),
+    ]
+}
+
+fn apply_to_model(model: &mut BTreeMap<Vec<u8>, Vec<u8>>, op: &ModelOp) {
+    match op {
+        ModelOp::Set(k, v) => {
+            model.insert(k.clone(), v.clone());
+        }
+        ModelOp::Delete(k) => {
+            model.remove(k);
+        }
+        ModelOp::Batch(items) => {
+            for (is_set, k, v) in items {
+                if *is_set {
+                    model.insert(k.clone(), v.clone());
+                } else {
+                    model.remove(k);
+                }
+            }
+        }
+    }
+}
+
+fn apply_to_store(store: &DiskStore, op: &ModelOp) {
+    match op {
+        ModelOp::Set(k, v) => store.set(k, v).unwrap(),
+        ModelOp::Delete(k) => store.delete(k).unwrap(),
+        ModelOp::Batch(items) => {
+            let mut b = Batch::new();
+            for (is_set, k, v) in items {
+                if *is_set {
+                    b.set(k.clone(), v.clone());
+                } else {
+                    b.delete(k.clone());
+                }
+            }
+            store.apply_batch(b).unwrap();
+        }
+    }
+}
+
+fn dump_store(store: &DiskStore) -> BTreeMap<Vec<u8>, Vec<u8>> {
+    store.scan_prefix(&[]).unwrap().into_iter().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Replaying the log reproduces exactly the model state.
+    #[test]
+    fn reopen_equals_model(ops in prop::collection::vec(op_strategy(), 0..60)) {
+        let path = tmp_path();
+        let mut model = BTreeMap::new();
+        {
+            let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+            for op in &ops {
+                apply_to_store(&store, op);
+                apply_to_model(&mut model, op);
+            }
+            // Live view agrees before the crash/reopen too.
+            prop_assert_eq!(&dump_store(&store), &model);
+        }
+        let reopened = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+        prop_assert_eq!(dump_store(&reopened), model);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Chopping the log anywhere produces the state of a batch-aligned prefix.
+    #[test]
+    fn truncation_is_batch_atomic(
+        ops in prop::collection::vec(op_strategy(), 1..25),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let path = tmp_path();
+        // Build the set of valid prefix states.
+        let mut prefix_states = Vec::with_capacity(ops.len() + 1);
+        let mut model = BTreeMap::new();
+        prefix_states.push(model.clone());
+        {
+            let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+            for op in &ops {
+                apply_to_store(&store, op);
+                apply_to_model(&mut model, op);
+                prefix_states.push(model.clone());
+            }
+        }
+        // Torn write: truncate the file at an arbitrary byte.
+        let full_len = std::fs::metadata(&path).unwrap().len();
+        let cut = (full_len as f64 * cut_fraction) as u64;
+        {
+            let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+            f.set_len(cut).unwrap();
+        }
+        let reopened = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+        let state = dump_store(&reopened);
+        prop_assert!(
+            prefix_states.contains(&state),
+            "post-truncation state is not any batch prefix (cut at {} of {})",
+            cut,
+            full_len
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// scan_prefix == model filter, for random prefixes.
+    #[test]
+    fn scan_prefix_equals_model_filter(
+        ops in prop::collection::vec(op_strategy(), 0..40),
+        prefix in prop::collection::vec(prop::num::u8::ANY, 0..3),
+    ) {
+        let path = tmp_path();
+        let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+        let mut model = BTreeMap::new();
+        for op in &ops {
+            apply_to_store(&store, op);
+            apply_to_model(&mut model, op);
+        }
+        let got = store.scan_prefix(&prefix).unwrap();
+        let want: Vec<(Vec<u8>, Vec<u8>)> = model
+            .iter()
+            .filter(|(k, _)| k.starts_with(&prefix))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        prop_assert_eq!(got, want);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Compaction never changes the visible state.
+    #[test]
+    fn compaction_preserves_state(ops in prop::collection::vec(op_strategy(), 0..40)) {
+        let path = tmp_path();
+        let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+        for op in &ops {
+            apply_to_store(&store, op);
+        }
+        let before = dump_store(&store);
+        store.compact().unwrap();
+        prop_assert_eq!(&dump_store(&store), &before);
+        drop(store);
+        let reopened = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+        prop_assert_eq!(dump_store(&reopened), before);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,64 @@
+//! Crowdsourced sort and max over items with latent quality scores.
+//!
+//! Demonstrates the sort/max operators: full pairwise sort recovers the
+//! latent ranking; the tournament max finds the best item in `n - 1`
+//! comparisons instead of `n(n-1)/2`.
+//!
+//! ```text
+//! cargo run --example crowd_sort
+//! ```
+
+use reprowd::datagen::{comparison_probability, RankingConfig, RankingDataset};
+use reprowd::prelude::*;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = RankingDataset::generate(&RankingConfig { n_items: 12, score_range: 10.0, seed: 5 });
+    let items = data.items.clone();
+    println!("ranking {} photos by latent quality score", items.len());
+
+    let cc = reprowd::core::CrowdContext::new(
+        Arc::new(reprowd::platform::SimPlatform::quick(7, 0.92, 13)),
+        Arc::new(reprowd::storage::MemoryStore::new()),
+    )?;
+
+    let scores = data.scores.clone();
+    let decorate = move |i: usize, j: usize, obj: &mut Value| {
+        obj["_sim"] = val!({
+            "kind": "compare",
+            "p_first": comparison_probability(scores[i], scores[j], 1.0),
+        });
+    };
+
+    // Full pairwise sort.
+    let sort_out = crowd_sort(
+        &cc,
+        &items,
+        &CrowdSortConfig::new("photo-sort", "Which photo is better?"),
+        &decorate,
+    )?;
+    let true_rank = data.true_ranking();
+    println!("\ncrowd order : {:?}", sort_out.order);
+    println!("true order  : {true_rank:?}");
+    let agree = sort_out.order.iter().zip(&true_rank).filter(|(a, b)| a == b).count();
+    println!(
+        "positions agreeing: {agree}/{} using {} comparisons",
+        items.len(),
+        sort_out.compared.len()
+    );
+
+    // Tournament max.
+    let max_out = crowd_max(
+        &cc,
+        &items,
+        &CrowdMaxConfig::new("photo-max", "Which photo is better?"),
+        &decorate,
+    )?;
+    println!(
+        "\ntournament max: item {:?} in {} comparisons (true max: {:?})",
+        max_out.max,
+        max_out.comparisons,
+        data.true_max()
+    );
+    Ok(())
+}

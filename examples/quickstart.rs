@@ -1,0 +1,57 @@
+//! Paper Figure 2 — Bob's experiment, verbatim.
+//!
+//! Label three images ("Yes"/"No"), each answered by three workers, with
+//! majority vote for quality control. Run it twice to see the sharable
+//! property: the second run prints the same labels without publishing a
+//! single new task.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use reprowd::prelude::*;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The simulated crowd stands in for PyBossa + human workers: five
+    // workers of 95% accuracy, fully deterministic under the seed.
+    let platform = Arc::new(reprowd::platform::SimPlatform::quick(5, 0.95, 42));
+    let db_path = std::env::temp_dir().join("reprowd-quickstart.rwlog");
+    let cc = reprowd::core::CrowdContext::on_disk(
+        platform.clone(),
+        &db_path,
+        SyncPolicy::Never,
+    )?;
+
+    // Bob's three images. The `_sim` field carries what a human would see
+    // by looking at the image (its true label) — the simulation seam.
+    let images = vec![
+        val!({"url": "img1.jpg", "_sim": {"kind": "label", "truth": 0, "labels": ["Yes", "No"], "difficulty": 0.1}}),
+        val!({"url": "img2.jpg", "_sim": {"kind": "label", "truth": 1, "labels": ["Yes", "No"], "difficulty": 0.1}}),
+        val!({"url": "img3.jpg", "_sim": {"kind": "label", "truth": 0, "labels": ["Yes", "No"], "difficulty": 0.1}}),
+    ];
+
+    // The paper's five steps.
+    let cd = cc
+        .crowddata("bob-image-label")? // experiment name = cache namespace
+        .data(images)? //                         1. prepare input data
+        .presenter(Presenter::image_label("Is this a cat?", &["Yes", "No"]))? // 2. choose UI
+        .publish(3)? //                           3. publish tasks
+        .collect()? //                            4. get results
+        .majority_vote()?; //                     5. quality control
+
+    println!("object                         -> mv");
+    for (obj, mv) in cd.column("object")?.iter().zip(cd.column("mv")?) {
+        println!("{:<30} -> {}", obj["url"].as_str().unwrap_or("?"), mv);
+    }
+    let stats = cd.run_stats();
+    println!(
+        "\ntasks published: {}, reused from db: {} (platform api calls so far: {})",
+        stats.tasks_published,
+        stats.tasks_reused,
+        cc.platform().api_calls()
+    );
+    println!("database file: {} (share this alongside the code)", db_path.display());
+    println!("\nRun the example again: it will reuse every cell and publish nothing.");
+    Ok(())
+}

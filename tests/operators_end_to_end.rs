@@ -1,0 +1,247 @@
+//! Integration tests: operators over generated workloads and simulated
+//! crowds — the full stack (datagen → simjoin → platform → core →
+//! operators → quality) in one breath.
+
+use reprowd::datagen::{comparison_probability, ErConfig, ErCorpus, RankingConfig, RankingDataset};
+use reprowd::operators::join::transitive::PairOrdering;
+use reprowd::platform::{CrowdPlatform, SimConfig, SimPlatform, WorkerPool};
+use reprowd::prelude::*;
+use std::sync::Arc;
+
+fn ctx(platform: SimPlatform) -> reprowd::core::CrowdContext {
+    reprowd::core::CrowdContext::new(
+        Arc::new(platform) as Arc<dyn CrowdPlatform>,
+        Arc::new(MemoryStore::new()),
+    )
+    .unwrap()
+}
+
+fn er_corpus(seed: u64) -> (ErCorpus, Vec<String>, Vec<usize>) {
+    let corpus = ErCorpus::generate(&ErConfig {
+        n_entities: 30,
+        min_dups: 2,
+        max_dups: 3,
+        typo_p: 0.1,
+        abbr_p: 0.05,
+        drop_p: 0.02,
+        shuffle_p: 0.1,
+        seed,
+        ..ErConfig::default()
+    });
+    let texts = corpus.texts();
+    let clusters = corpus.truth_clusters();
+    (corpus, texts, clusters)
+}
+
+fn match_oracle(entities: Vec<usize>, ambiguity: f64) -> impl Fn(usize, usize, &mut Value) {
+    move |i, j, obj: &mut Value| {
+        obj["_sim"] = val!({
+            "kind": "match",
+            "is_match": entities[i] == entities[j],
+            "ambiguity": ambiguity,
+        });
+    }
+}
+
+#[test]
+fn crowder_hits_high_f1_on_generated_corpus() {
+    let (corpus, texts, clusters) = er_corpus(101);
+    let cc = ctx(SimPlatform::quick(7, 0.95, 101));
+    let mut cfg = CrowdErConfig::new("er-int");
+    cfg.threshold = 0.35;
+    let out = crowder_join(&cc, &texts, &cfg, match_oracle(clusters, 0.1)).unwrap();
+    let (p, r, f1) = pairwise_prf(&out.matched, &corpus.true_pairs());
+    assert!(p > 0.9, "precision {p}");
+    assert!(r > 0.6, "recall {r} (bounded by machine-pass pruning)");
+    assert!(f1 > 0.75, "f1 {f1}");
+}
+
+#[test]
+fn lower_threshold_buys_recall_with_more_crowd_cost() {
+    let (corpus, texts, clusters) = er_corpus(102);
+    let mut results = Vec::new();
+    for (i, threshold) in [0.25, 0.45, 0.65].into_iter().enumerate() {
+        let cc = ctx(SimPlatform::quick(7, 0.95, 102));
+        let mut cfg = CrowdErConfig::new(&format!("er-th-{i}"));
+        cfg.threshold = threshold;
+        let out = crowder_join(&cc, &texts, &cfg, match_oracle(clusters.clone(), 0.05)).unwrap();
+        let (_, recall, _) = pairwise_prf(&out.matched, &corpus.true_pairs());
+        results.push((out.crowd_reviewed.len(), recall));
+    }
+    // Cost decreases with threshold; recall does not increase.
+    assert!(results[0].0 >= results[1].0 && results[1].0 >= results[2].0, "{results:?}");
+    assert!(results[0].1 >= results[2].1 - 1e-9, "{results:?}");
+}
+
+#[test]
+fn transitive_join_saves_questions_and_matches_crowder_quality() {
+    let (corpus, texts, clusters) = er_corpus(103);
+    let cc1 = ctx(SimPlatform::quick(7, 0.98, 103));
+    let mut tcfg = TransitiveConfig::new("tj-int");
+    tcfg.threshold = 0.35;
+    let t = transitive_join(&cc1, &texts, &tcfg, match_oracle(clusters.clone(), 0.05)).unwrap();
+
+    let cc2 = ctx(SimPlatform::quick(7, 0.98, 103));
+    let mut ccfg = CrowdErConfig::new("er-int2");
+    ccfg.threshold = 0.35;
+    let c = crowder_join(&cc2, &texts, &ccfg, match_oracle(clusters, 0.05)).unwrap();
+
+    assert!(
+        t.asked.len() < c.crowd_reviewed.len(),
+        "transitivity saved nothing: {} vs {}",
+        t.asked.len(),
+        c.crowd_reviewed.len()
+    );
+    let (_, _, f1_t) = pairwise_prf(&t.matched, &corpus.true_pairs());
+    let (_, _, f1_c) = pairwise_prf(&c.matched, &corpus.true_pairs());
+    assert!(
+        (f1_t - f1_c).abs() < 0.1,
+        "transitive join quality drifted: {f1_t} vs {f1_c}"
+    );
+}
+
+#[test]
+fn similarity_ordering_beats_adversarial_ordering() {
+    let (_, texts, clusters) = er_corpus(104);
+    let asked = |ordering: PairOrdering, name: &str| {
+        let cc = ctx(SimPlatform::quick(7, 0.98, 104));
+        let mut cfg = TransitiveConfig::new(name);
+        cfg.threshold = 0.35;
+        cfg.ordering = ordering;
+        transitive_join(&cc, &texts, &cfg, match_oracle(clusters.clone(), 0.05))
+            .unwrap()
+            .asked
+            .len()
+    };
+    let desc = asked(PairOrdering::SimilarityDesc, "tj-d");
+    let asc = asked(PairOrdering::SimilarityAsc, "tj-a");
+    assert!(desc <= asc, "desc {desc} > asc {asc}");
+}
+
+#[test]
+fn crowd_sort_recovers_ranking_with_strong_crowd() {
+    let data = RankingDataset::generate(&RankingConfig { n_items: 10, score_range: 10.0, seed: 9 });
+    let cc = ctx(SimPlatform::quick(7, 0.98, 105));
+    let scores = data.scores.clone();
+    let out = crowd_sort(
+        &cc,
+        &data.items,
+        &CrowdSortConfig::new("sort-int", "Better?"),
+        move |i, j, obj| {
+            obj["_sim"] = val!({
+                "kind": "compare",
+                "p_first": comparison_probability(scores[i], scores[j], 0.3),
+            });
+        },
+    )
+    .unwrap();
+    // Spearman-ish check: the top-3 of the crowd order are the true top-3.
+    let true_rank = data.true_ranking();
+    let top: std::collections::HashSet<usize> = out.order[..3].iter().copied().collect();
+    let true_top: std::collections::HashSet<usize> = true_rank[..3].iter().copied().collect();
+    assert_eq!(top, true_top, "crowd {:?} vs truth {:?}", out.order, true_rank);
+}
+
+#[test]
+fn ds_beats_mv_on_biased_worker_pool_end_to_end() {
+    // Pool: 2 good workers + 3 yes-biased workers; DS should learn the bias
+    // from raw task runs collected through the full pipeline.
+    let pool = WorkerPool::uniform(2, 0.92).with_biased(3, 0, 0.8, 0.75);
+    let platform = SimPlatform::new(SimConfig { pool, seed: 106 });
+    let cc = ctx(platform);
+
+    let n = 120;
+    let items: Vec<Value> = (0..n)
+        .map(|i| {
+            val!({
+                "id": i,
+                "_sim": {"kind": "label", "truth": (i % 2), "labels": ["Yes", "No"], "difficulty": 0.15}
+            })
+        })
+        .collect();
+    let truth: Vec<usize> = (0..n).map(|i| i % 2).collect();
+
+    let cd = cc
+        .crowddata("ds-vs-mv")
+        .unwrap()
+        .data(items)
+        .unwrap()
+        .presenter(Presenter::image_label("Q?", &["Yes", "No"]))
+        .unwrap()
+        .publish(5)
+        .unwrap()
+        .collect()
+        .unwrap()
+        .majority_vote()
+        .unwrap()
+        .dawid_skene(&reprowd::quality::DsConfig::default())
+        .unwrap();
+
+    let score = |col: &str| {
+        let vals = cd.column(col).unwrap();
+        vals.iter()
+            .zip(&truth)
+            .filter(|(v, &t)| v.as_str() == Some(if t == 0 { "Yes" } else { "No" }))
+            .count() as f64
+            / n as f64
+    };
+    let mv = score("mv");
+    let ds = score("ds");
+    assert!(ds >= mv, "DS ({ds}) lost to MV ({mv})");
+    // Ceiling: two 86%-effective good workers + weakly-informative biased
+    // majority caps fused accuracy around 0.86; 0.8 is the robust floor.
+    assert!(ds > 0.8, "DS accuracy {ds}");
+}
+
+#[test]
+fn crowd_label_with_gold_calibration_weights() {
+    // Calibrate workers on gold items, then weighted-vote the rest.
+    let pool = WorkerPool::uniform(2, 0.95).with_biased(2, 0, 0.9, 0.6);
+    let cc = ctx(SimPlatform::new(SimConfig { pool, seed: 107 }));
+    let n = 60;
+    let items: Vec<Value> = (0..n)
+        .map(|i| {
+            val!({
+                "id": i,
+                "_sim": {"kind": "label", "truth": (i % 2), "labels": ["Yes", "No"], "difficulty": 0.1}
+            })
+        })
+        .collect();
+    let truth: Vec<usize> = (0..n).map(|i| i % 2).collect();
+
+    let cd = cc
+        .crowddata("gold-cal")
+        .unwrap()
+        .data(items)
+        .unwrap()
+        .presenter(Presenter::image_label("Q?", &["Yes", "No"]))
+        .unwrap()
+        .publish(4)
+        .unwrap()
+        .collect()
+        .unwrap();
+
+    // First 20 items serve as gold.
+    let (matrix, _) = cd.vote_matrix().unwrap();
+    let gold: std::collections::HashMap<usize, usize> =
+        (0..20).map(|i| (i, truth[i])).collect();
+    let cal = reprowd::quality::GoldCalibration::from_gold(&matrix, &gold, 1.0);
+    let weights = cal.log_odds_weights();
+
+    let cd = cd.weighted_vote(&weights, 0.0).unwrap().majority_vote().unwrap();
+    let score = |col: &str| {
+        cd.column(col)
+            .unwrap()
+            .iter()
+            .zip(&truth)
+            .filter(|(v, &t)| v.as_str() == Some(if t == 0 { "Yes" } else { "No" }))
+            .count() as f64
+            / n as f64
+    };
+    assert!(
+        score("wmv") >= score("mv"),
+        "calibrated weights should not hurt: wmv {} vs mv {}",
+        score("wmv"),
+        score("mv")
+    );
+}
