@@ -1,0 +1,235 @@
+//! Vendored minimal replacement for `criterion` (no crates.io access in the
+//! build container). Supports the surface the micro-benchmarks use:
+//! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `sample_size`, `bench_function`, `Bencher::iter` / `iter_batched`, and
+//! `BatchSize`.
+//!
+//! Measurement model: per sample, the routine runs enough iterations to
+//! cover ~5 ms, and the reported figure is the best sample's mean — a
+//! simple but serviceable latency estimate. When the binary is invoked by
+//! `cargo test` (`--test` flag) every routine runs exactly once so test
+//! runs stay fast.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup (accepted, not tuned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (setup re-runs every sample).
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Opaque identity preventing the optimizer from deleting a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion::from_args()
+    }
+}
+
+impl Criterion {
+    /// Builds the driver from CLI arguments (`--test` = run-once mode;
+    /// a bare positional argument filters benchmark names).
+    pub fn from_args() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" => {}
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into(), sample_size: 10 }
+    }
+
+    /// Benchmarks a single function outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let (test_mode, skip) = (self.test_mode, self.skips(id));
+        if !skip {
+            run_one(id, test_mode, f);
+        }
+        self
+    }
+
+    fn skips(&self, id: &str) -> bool {
+        self.filter.as_deref().is_some_and(|f| !id.contains(f))
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples (accepted for API compatibility).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `<group>/<id>`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if !self.c.skips(&full) {
+            run_one(&full, self.c.test_mode, f);
+        }
+        self
+    }
+
+    /// Ends the group (no-op; prints nothing extra).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, test_mode: bool, mut f: F) {
+    let mut b = Bencher { test_mode, best_ns: f64::INFINITY, measured: false };
+    f(&mut b);
+    if test_mode {
+        println!("test {id} ... ok");
+    } else if b.measured {
+        println!("{id:<40} time: {}", format_ns(b.best_ns));
+    } else {
+        println!("{id:<40} (no measurement)");
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Passed to every benchmark closure; runs and times the routine.
+pub struct Bencher {
+    test_mode: bool,
+    best_ns: f64,
+    measured: bool,
+}
+
+/// Per-sample time budget in bench mode.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(5);
+/// Total per-benchmark budget in bench mode.
+const TOTAL_BUDGET: Duration = Duration::from_millis(200);
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Calibrate: how many iterations fit the sample budget?
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (SAMPLE_BUDGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let bench_start = Instant::now();
+        while bench_start.elapsed() < TOTAL_BUDGET {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / per_sample as f64;
+            if ns < self.best_ns {
+                self.best_ns = ns;
+            }
+        }
+        self.measured = true;
+    }
+
+    /// Times `routine` on fresh inputs from `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        let bench_start = Instant::now();
+        let mut samples = 0u32;
+        while samples == 0 || (bench_start.elapsed() < TOTAL_BUDGET && samples < 10_000) {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            let ns = t.elapsed().as_nanos() as f64;
+            if ns < self.best_ns {
+                self.best_ns = ns;
+            }
+            samples += 1;
+        }
+        self.measured = true;
+    }
+}
+
+/// Declares a benchmark group function invoking each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_routines() {
+        let mut b = Bencher { test_mode: true, best_ns: f64::INFINITY, measured: false };
+        let mut count = 0;
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+        b.iter_batched(|| 5, |x| x * 2, BatchSize::LargeInput);
+    }
+
+    #[test]
+    fn format_scales() {
+        assert!(format_ns(10.0).ends_with("ns"));
+        assert!(format_ns(10_000.0).ends_with("µs"));
+        assert!(format_ns(10_000_000.0).ends_with("ms"));
+    }
+}

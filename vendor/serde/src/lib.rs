@@ -1,0 +1,295 @@
+//! Vendored minimal replacement for the `serde` crate.
+//!
+//! The build container has no network access to crates.io, so the workspace
+//! vendors the exact API surface it consumes. Real serde is a
+//! format-agnostic visitor framework; Reprowd only ever serializes to and
+//! from JSON, so this stand-in collapses the data model to a single
+//! [`json::Value`] tree:
+//!
+//! * [`Serialize`] — convert `self` into a [`json::Value`].
+//! * [`Deserialize`] — reconstruct `Self` from a [`json::Value`].
+//! * `#[derive(Serialize, Deserialize)]` — provided by the vendored
+//!   `serde_derive` proc-macro, supporting named structs, unit/struct/tuple
+//!   enum variants, and the `#[serde(tag = "...", rename_all =
+//!   "snake_case")]` container attributes the workspace uses.
+//!
+//! Swap this crate for real serde (and delete `vendor/`) when building with
+//! network access; the trait names and call sites line up.
+
+pub mod json;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use json::{Error, Value};
+
+/// Types that can turn themselves into a JSON [`Value`].
+pub trait Serialize {
+    /// Converts `self` into a JSON value tree.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a JSON value tree.
+    fn from_json_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Mirror of `serde::de` — just enough for `DeserializeOwned` bounds.
+pub mod de {
+    /// Owned deserialization marker; blanket-implemented for every
+    /// [`Deserialize`](crate::Deserialize) type.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(json::Number::from_i64(*self as i64))
+            }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(json::Number::from_u64(*self as u64))
+            }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::from_f64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        Value::from_f64(*self as f64)
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_json_value()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_json_value(&self) -> Value {
+        let mut m = json::Map::new();
+        for (k, v) in self {
+            m.insert(k.clone(), v.to_json_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    fn to_json_value(&self) -> Value {
+        let mut m = json::Map::new();
+        for (k, v) in self {
+            m.insert(k.clone(), v.to_json_value());
+        }
+        Value::Object(m)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------------
+
+impl Deserialize for Value {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::custom("expected boolean"))
+    }
+}
+
+macro_rules! de_signed {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64().ok_or_else(|| Error::custom("expected integer"))?;
+                <$t>::try_from(n).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+de_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64().ok_or_else(|| Error::custom("expected unsigned integer"))?;
+                <$t>::try_from(n).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+de_unsigned!(u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::custom("expected number"))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        Ok(f64::from_json_value(v)? as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_string).ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            Ok(Some(T::from_json_value(v)?))
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        Ok(Box::new(T::from_json_value(v)?))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        let arr = v.as_array().ok_or_else(|| Error::custom("expected array"))?;
+        arr.iter().map(T::from_json_value).collect()
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal: $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                let arr = v.as_array().ok_or_else(|| Error::custom("expected array"))?;
+                if arr.len() != $len {
+                    return Err(Error::custom("tuple length mismatch"));
+                }
+                Ok(($($t::from_json_value(&arr[$n])?,)+))
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1: 0 A)
+    (2: 0 A, 1 B)
+    (3: 0 A, 1 B, 2 C)
+    (4: 0 A, 1 B, 2 C, 3 D)
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        let obj = v.as_object().ok_or_else(|| Error::custom("expected object"))?;
+        obj.iter().map(|(k, v)| Ok((k.clone(), V::from_json_value(v)?))).collect()
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        let obj = v.as_object().ok_or_else(|| Error::custom("expected object"))?;
+        obj.iter().map(|(k, v)| Ok((k.clone(), V::from_json_value(v)?))).collect()
+    }
+}

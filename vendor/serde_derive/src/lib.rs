@@ -1,0 +1,516 @@
+//! Vendored minimal `#[derive(Serialize, Deserialize)]` for the simplified
+//! serde traits in `vendor/serde`.
+//!
+//! Implemented without `syn`/`quote` (the build container has no crates.io
+//! access): the item's token stream is parsed by hand into a small shape
+//! model, and the impls are emitted as source text. Supported shapes — the
+//! ones the workspace actually derives on:
+//!
+//! * structs with named fields
+//! * enums with unit, named-field, and tuple variants
+//! * container attributes `#[serde(tag = "...")]` (internal tagging) and
+//!   `#[serde(rename_all = "snake_case")]`
+//!
+//! Generics, tuple structs, and field-level serde attributes are rejected
+//! with a compile error naming this file.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Container {
+    name: String,
+    tag: Option<String>,
+    snake_case: bool,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Shape {
+    /// Named-field struct.
+    Struct(Vec<String>),
+    /// Enum of variants.
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+#[derive(Debug)]
+enum VariantFields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    gen_serialize(&c).parse().expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    gen_deserialize(&c).parse().expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_container(input: TokenStream) -> Container {
+    let mut tokens = input.into_iter().peekable();
+    let mut tag = None;
+    let mut snake_case = false;
+
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.next() {
+                    parse_serde_attr(g.stream(), &mut tag, &mut snake_case);
+                }
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                tokens.next();
+                // Skip a `(crate)` / `(super)` visibility scope if present.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "struct" || i.to_string() == "enum" => {
+                break;
+            }
+            Some(_) => {
+                tokens.next();
+            }
+            None => panic!("serde_derive: no struct or enum found"),
+        }
+    }
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected struct/enum keyword, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic types are not supported (type {name})");
+        }
+    }
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive: tuple structs are not supported (type {name})")
+            }
+            Some(_) => continue,
+            None => panic!("serde_derive: missing body for type {name}"),
+        }
+    };
+
+    let shape = if kind == "struct" {
+        Shape::Struct(parse_named_fields(body))
+    } else {
+        Shape::Enum(parse_variants(body))
+    };
+    Container { name, tag, snake_case, shape }
+}
+
+/// Parses the inside of a `#[...]` attribute; records serde metadata.
+fn parse_serde_attr(stream: TokenStream, tag: &mut Option<String>, snake_case: &mut bool) {
+    let mut it = stream.into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return, // doc comment or other attribute — ignore
+    }
+    let Some(TokenTree::Group(args)) = it.next() else { return };
+    let mut args = args.stream().into_iter().peekable();
+    while let Some(tt) = args.next() {
+        let TokenTree::Ident(key) = tt else { continue };
+        let key = key.to_string();
+        // Expect `= "literal"`.
+        let Some(TokenTree::Punct(eq)) = args.next() else { continue };
+        if eq.as_char() != '=' {
+            continue;
+        }
+        let Some(TokenTree::Literal(lit)) = args.next() else { continue };
+        let value = unquote(&lit.to_string());
+        match key.as_str() {
+            "tag" => *tag = Some(value),
+            "rename_all" => {
+                if value == "snake_case" {
+                    *snake_case = true;
+                } else {
+                    panic!("serde_derive: unsupported rename_all = {value:?}");
+                }
+            }
+            other => panic!("serde_derive: unsupported serde attribute {other:?}"),
+        }
+        // Consume a trailing comma if present.
+        if let Some(TokenTree::Punct(p)) = args.peek() {
+            if p.as_char() == ',' {
+                args.next();
+            }
+        }
+    }
+}
+
+/// Parses `field: Type, ...` (named fields), returning field names in order.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility.
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+                continue;
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+                continue;
+            }
+            Some(TokenTree::Ident(_)) => {}
+            Some(other) => panic!("serde_derive: unexpected token in fields: {other:?}"),
+            None => break,
+        }
+        let Some(TokenTree::Ident(name)) = tokens.next() else { unreachable!() };
+        let mut name = name.to_string();
+        if let Some(stripped) = name.strip_prefix("r#") {
+            name = stripped.to_string();
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected ':' after field {name}, got {other:?}"),
+        }
+        fields.push(name);
+        // Skip the type: consume until a top-level comma (angle depth 0).
+        let mut depth: i32 = 0;
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    depth += 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    depth -= 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                Some(_) => {
+                    tokens.next();
+                }
+                None => break,
+            }
+        }
+    }
+    fields
+}
+
+/// Parses enum variants.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next();
+                continue;
+            }
+            Some(TokenTree::Ident(_)) => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                tokens.next();
+                continue;
+            }
+            Some(other) => panic!("serde_derive: unexpected token in variants: {other:?}"),
+            None => break,
+        }
+        let Some(TokenTree::Ident(name)) = tokens.next() else { unreachable!() };
+        let name = name.to_string();
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                tokens.next();
+                VariantFields::Named(parse_named_fields(inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                tokens.next();
+                VariantFields::Tuple(count_tuple_fields(inner))
+            }
+            _ => VariantFields::Unit,
+        };
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+/// Counts top-level comma-separated entries of a tuple variant's field list.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth: i32 = 0;
+    let mut count = 0;
+    let mut saw_any = false;
+    for tt in stream {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => saw_any = true,
+        }
+    }
+    if saw_any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn rename(name: &str, snake_case: bool) -> String {
+    if !snake_case {
+        return name.to_string();
+    }
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.shape {
+        Shape::Struct(fields) => {
+            let mut s = String::from(
+                "let mut __m = ::serde::json::Map::new();\n",
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "__m.insert(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_json_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::json::Value::Object(__m)");
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                let tag_name = rename(vname, c.snake_case);
+                match (&v.fields, &c.tag) {
+                    (VariantFields::Unit, None) => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::json::Value::String(::std::string::String::from(\"{tag_name}\")),\n"
+                    )),
+                    (VariantFields::Unit, Some(tag)) => arms.push_str(&format!(
+                        "{name}::{vname} => {{\n\
+                         let mut __m = ::serde::json::Map::new();\n\
+                         __m.insert(::std::string::String::from(\"{tag}\"), ::serde::json::Value::String(::std::string::String::from(\"{tag_name}\")));\n\
+                         ::serde::json::Value::Object(__m)\n}}\n"
+                    )),
+                    (VariantFields::Named(fields), tag) => {
+                        let bindings = fields.join(", ");
+                        let mut inner = String::from(
+                            "let mut __m = ::serde::json::Map::new();\n",
+                        );
+                        if let Some(tag) = tag {
+                            inner.push_str(&format!(
+                                "__m.insert(::std::string::String::from(\"{tag}\"), ::serde::json::Value::String(::std::string::String::from(\"{tag_name}\")));\n"
+                            ));
+                        }
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__m.insert(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_json_value({f}));\n"
+                            ));
+                        }
+                        if tag.is_some() {
+                            inner.push_str("::serde::json::Value::Object(__m)");
+                        } else {
+                            inner.push_str(&format!(
+                                "let mut __outer = ::serde::json::Map::new();\n\
+                                 __outer.insert(::std::string::String::from(\"{tag_name}\"), ::serde::json::Value::Object(__m));\n\
+                                 ::serde::json::Value::Object(__outer)"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {bindings} }} => {{\n{inner}\n}}\n"
+                        ));
+                    }
+                    (VariantFields::Tuple(n), None) => {
+                        let bindings: Vec<String> =
+                            (0..*n).map(|i| format!("__f{i}")).collect();
+                        let pat = bindings.join(", ");
+                        let content = if *n == 1 {
+                            "::serde::Serialize::to_json_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = bindings
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                                .collect();
+                            format!("::serde::json::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({pat}) => {{\n\
+                             let mut __outer = ::serde::json::Map::new();\n\
+                             __outer.insert(::std::string::String::from(\"{tag_name}\"), {content});\n\
+                             ::serde::json::Value::Object(__outer)\n}}\n"
+                        ));
+                    }
+                    (VariantFields::Tuple(_), Some(_)) => panic!(
+                        "serde_derive: tuple variants cannot be internally tagged ({name}::{vname})"
+                    ),
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_json_value(&self) -> ::serde::json::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.shape {
+        Shape::Struct(fields) => {
+            let mut s = format!(
+                "let __obj = __v.as_object().ok_or_else(|| ::serde::json::Error::custom(\"expected object for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_json_value(__obj.get(\"{f}\").unwrap_or(&::serde::json::Value::Null))?,\n"
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        Shape::Enum(variants) => match &c.tag {
+            Some(tag) => {
+                let mut arms = String::new();
+                for v in variants {
+                    let vname = &v.name;
+                    let tag_name = rename(vname, c.snake_case);
+                    match &v.fields {
+                        VariantFields::Unit => arms.push_str(&format!(
+                            "\"{tag_name}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                        )),
+                        VariantFields::Named(fields) => {
+                            let mut inner = String::new();
+                            for f in fields {
+                                inner.push_str(&format!(
+                                    "{f}: ::serde::Deserialize::from_json_value(__obj.get(\"{f}\").unwrap_or(&::serde::json::Value::Null))?,\n"
+                                ));
+                            }
+                            arms.push_str(&format!(
+                                "\"{tag_name}\" => ::std::result::Result::Ok({name}::{vname} {{\n{inner}}}),\n"
+                            ));
+                        }
+                        VariantFields::Tuple(_) => panic!(
+                            "serde_derive: tuple variants cannot be internally tagged ({name}::{vname})"
+                        ),
+                    }
+                }
+                format!(
+                    "let __obj = __v.as_object().ok_or_else(|| ::serde::json::Error::custom(\"expected object for {name}\"))?;\n\
+                     let __tag = __obj.get(\"{tag}\").and_then(|t| t.as_str()).ok_or_else(|| ::serde::json::Error::custom(\"missing tag \\\"{tag}\\\" for {name}\"))?;\n\
+                     match __tag {{\n{arms}\
+                     __other => ::std::result::Result::Err(::serde::json::Error::custom(format!(\"unknown {name} variant {{__other:?}}\"))),\n}}"
+                )
+            }
+            None => {
+                let mut unit_arms = String::new();
+                let mut keyed_arms = String::new();
+                for v in variants {
+                    let vname = &v.name;
+                    let tag_name = rename(vname, c.snake_case);
+                    match &v.fields {
+                        VariantFields::Unit => {
+                            unit_arms.push_str(&format!(
+                                "\"{tag_name}\" => return ::std::result::Result::Ok({name}::{vname}),\n"
+                            ));
+                        }
+                        VariantFields::Named(fields) => {
+                            let mut inner = String::new();
+                            for f in fields {
+                                inner.push_str(&format!(
+                                    "{f}: ::serde::Deserialize::from_json_value(__inner.get(\"{f}\").unwrap_or(&::serde::json::Value::Null))?,\n"
+                                ));
+                            }
+                            keyed_arms.push_str(&format!(
+                                "\"{tag_name}\" => {{\n\
+                                 let __inner = __content.as_object().ok_or_else(|| ::serde::json::Error::custom(\"expected object content for {name}::{vname}\"))?;\n\
+                                 return ::std::result::Result::Ok({name}::{vname} {{\n{inner}}});\n}}\n"
+                            ));
+                        }
+                        VariantFields::Tuple(n) => {
+                            if *n == 1 {
+                                keyed_arms.push_str(&format!(
+                                    "\"{tag_name}\" => return ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_json_value(__content)?)),\n"
+                                ));
+                            } else {
+                                let items: Vec<String> = (0..*n)
+                                    .map(|i| format!(
+                                        "::serde::Deserialize::from_json_value(__arr.get({i}).unwrap_or(&::serde::json::Value::Null))?"
+                                    ))
+                                    .collect();
+                                keyed_arms.push_str(&format!(
+                                    "\"{tag_name}\" => {{\n\
+                                     let __arr = __content.as_array().ok_or_else(|| ::serde::json::Error::custom(\"expected array content for {name}::{vname}\"))?;\n\
+                                     return ::std::result::Result::Ok({name}::{vname}({}));\n}}\n",
+                                    items.join(", ")
+                                ));
+                            }
+                        }
+                    }
+                }
+                format!(
+                    "if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+                     match __s {{\n{unit_arms}_ => {{}}\n}}\n}}\n\
+                     if let ::std::option::Option::Some(__obj) = __v.as_object() {{\n\
+                     if __obj.len() == 1 {{\n\
+                     let (__key, __content) = __obj.iter().next().unwrap();\n\
+                     match __key.as_str() {{\n{keyed_arms}_ => {{}}\n}}\n}}\n}}\n\
+                     ::std::result::Result::Err(::serde::json::Error::custom(\"unrecognized {name} value\"))"
+                )
+            }
+        },
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_json_value(__v: &::serde::json::Value) -> ::std::result::Result<Self, ::serde::json::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

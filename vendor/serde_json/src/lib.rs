@@ -1,0 +1,204 @@
+//! Vendored minimal replacement for `serde_json` (the build container has
+//! no crates.io access). Re-exports the JSON data model from the vendored
+//! `serde` crate and provides the function surface the workspace uses:
+//! `to_string` / `to_vec` / `from_str` / `from_slice` / `to_value` /
+//! `from_value` and the `json!` literal macro.
+//!
+//! Encoding is always compact and canonical (object keys sorted), which is
+//! what Reprowd's content-derived cache keys hash.
+
+pub use serde::json::{Error, Map, Number, Value};
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_json_value().to_string())
+}
+
+/// Serializes `value` to an indented JSON string.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    fn pretty(v: &Value, indent: usize, out: &mut String) {
+        let pad = "  ".repeat(indent);
+        let pad_in = "  ".repeat(indent + 1);
+        match v {
+            Value::Array(a) if !a.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in a.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&pad_in);
+                    pretty(item, indent + 1, out);
+                }
+                out.push('\n');
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Value::Object(m) if !m.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, val)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&pad_in);
+                    out.push_str(&Value::String(k.clone()).to_string());
+                    out.push_str(": ");
+                    pretty(val, indent + 1, out);
+                }
+                out.push('\n');
+                out.push_str(&pad);
+                out.push('}');
+            }
+            other => out.push_str(&other.to_string()),
+        }
+    }
+    let mut out = String::new();
+    pretty(&value.to_json_value(), 0, &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` to JSON bytes.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    Ok(to_string(value)?.into_bytes())
+}
+
+/// Converts `value` into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value> {
+    Ok(value.to_json_value())
+}
+
+/// Reconstructs a `T` from a [`Value`] tree.
+pub fn from_value<T: serde::de::DeserializeOwned>(value: Value) -> Result<T> {
+    T::from_json_value(&value)
+}
+
+/// Parses a `T` out of JSON text.
+pub fn from_str<T: serde::de::DeserializeOwned>(s: &str) -> Result<T> {
+    let v = Value::parse(s)?;
+    T::from_json_value(&v)
+}
+
+/// Parses a `T` out of JSON bytes.
+pub fn from_slice<T: serde::de::DeserializeOwned>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::custom(format!("invalid utf-8: {e}")))?;
+    from_str(s)
+}
+
+/// Builds a [`Value`] from a JSON literal with interpolated expressions,
+/// mirroring `serde_json::json!`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut __arr: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::json!(@arr __arr $($tt)*);
+        $crate::Value::Array(__arr)
+    }};
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut __map = $crate::Map::new();
+        $crate::json!(@obj __map $($tt)*);
+        $crate::Value::Object(__map)
+    }};
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! value serializes")
+    };
+
+    // ---- array elements ----
+    (@arr $v:ident) => {};
+    (@arr $v:ident null $(, $($rest:tt)*)?) => {
+        $v.push($crate::Value::Null);
+        $crate::json!(@arr $v $($($rest)*)?);
+    };
+    (@arr $v:ident [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $v.push($crate::json!([ $($inner)* ]));
+        $crate::json!(@arr $v $($($rest)*)?);
+    };
+    (@arr $v:ident { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $v.push($crate::json!({ $($inner)* }));
+        $crate::json!(@arr $v $($($rest)*)?);
+    };
+    (@arr $v:ident $e:expr , $($rest:tt)*) => {
+        $v.push($crate::json!($e));
+        $crate::json!(@arr $v $($rest)*);
+    };
+    (@arr $v:ident $e:expr) => {
+        $v.push($crate::json!($e));
+    };
+
+    // ---- object entries (string-literal keys) ----
+    (@obj $m:ident) => {};
+    (@obj $m:ident $k:literal : null $(, $($rest:tt)*)?) => {
+        $m.insert(::std::string::String::from($k), $crate::Value::Null);
+        $crate::json!(@obj $m $($($rest)*)?);
+    };
+    (@obj $m:ident $k:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $m.insert(::std::string::String::from($k), $crate::json!([ $($inner)* ]));
+        $crate::json!(@obj $m $($($rest)*)?);
+    };
+    (@obj $m:ident $k:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $m.insert(::std::string::String::from($k), $crate::json!({ $($inner)* }));
+        $crate::json!(@obj $m $($($rest)*)?);
+    };
+    (@obj $m:ident $k:literal : $e:expr , $($rest:tt)*) => {
+        $m.insert(::std::string::String::from($k), $crate::json!($e));
+        $crate::json!(@obj $m $($rest)*);
+    };
+    (@obj $m:ident $k:literal : $e:expr) => {
+        $m.insert(::std::string::String::from($k), $crate::json!($e));
+    };
+}
+
+#[cfg(test)]
+// The json! array arms expand to init-then-push; clippy only sees that
+// inside this crate (external-macro expansions are exempt downstream).
+#[allow(clippy::vec_init_then_push)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let name = "bob";
+        let v = json!({
+            "s": "x",
+            "n": 3,
+            "f": 1.5,
+            "b": true,
+            "null": null,
+            "arr": [1, "two", null, [3], {"four": 4}],
+            "nested": {"k": name, "deep": {"i": 1 + 1}},
+        });
+        assert_eq!(v["s"], "x");
+        assert_eq!(v["n"], 3);
+        assert_eq!(v["f"], 1.5);
+        assert_eq!(v["b"], true);
+        assert!(v["null"].is_null());
+        assert_eq!(v["arr"][4]["four"], 4);
+        assert_eq!(v["nested"]["k"], "bob");
+        assert_eq!(v["nested"]["deep"]["i"], 2);
+        assert_eq!(json!("bare"), "bare");
+        assert_eq!(json!(7), 7);
+        assert!(json!([]).as_array().unwrap().is_empty());
+        assert!(json!({}).as_object().unwrap().is_empty());
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let v = json!({"a": [1, 2.0, "x"], "b": {"c": true}});
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_parses_back() {
+        let v = json!({"a": [1, 2], "b": {"c": true}});
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains('\n'));
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+}
