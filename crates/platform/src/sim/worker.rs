@@ -107,12 +107,11 @@ impl WorkerPool {
     /// `strength`, otherwise behave with `ability`). Ids continue after the
     /// current maximum.
     pub fn with_biased(mut self, n: usize, label: usize, strength: f64, ability: f64) -> Self {
-        let mut next = self.workers.iter().map(|w| w.id).max().unwrap_or(0) + 1;
-        for _ in 0..n {
-            let mut w = WorkerProfile::with_ability(next, ability);
+        let base = self.workers.iter().map(|w| w.id).max().unwrap_or(0);
+        for i in 1..=n as u64 {
+            let mut w = WorkerProfile::with_ability(base + i, ability);
             w.bias = Some((label, strength));
             self.workers.push(w);
-            next += 1;
         }
         self
     }
