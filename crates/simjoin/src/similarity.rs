@@ -154,7 +154,7 @@ pub fn edit_distance_within(a: &str, b: &str, max_dist: usize) -> Option<usize> 
         if lo > hi {
             return None;
         }
-        cur[lo - 1] = if i + 1 <= max_dist { i + 1 } else { INF };
+        cur[lo - 1] = if i < max_dist { i + 1 } else { INF };
         let mut row_min = cur[lo - 1];
         for j in lo..=hi {
             let cost = usize::from(ca != b[j - 1]);
