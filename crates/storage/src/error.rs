@@ -70,7 +70,7 @@ mod tests {
 
     #[test]
     fn display_io() {
-        let e = Error::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let e = Error::from(std::io::Error::other("boom"));
         assert!(e.to_string().contains("boom"));
     }
 
@@ -84,7 +84,7 @@ mod tests {
     #[test]
     fn source_of_io_error_is_inner() {
         use std::error::Error as _;
-        let e = Error::from(std::io::Error::new(std::io::ErrorKind::Other, "x"));
+        let e = Error::from(std::io::Error::other("x"));
         assert!(e.source().is_some());
         let e = Error::Codec("y".into());
         assert!(e.source().is_none());
