@@ -26,7 +26,6 @@ fn er_corpus(seed: u64) -> (ErCorpus, Vec<String>, Vec<usize>) {
         drop_p: 0.02,
         shuffle_p: 0.1,
         seed,
-        ..ErConfig::default()
     });
     let texts = corpus.texts();
     let clusters = corpus.truth_clusters();
