@@ -1,0 +1,162 @@
+//! The paper's *sharable* guarantee as a dedicated integration test: after
+//! a crash (the context is dropped, the process "restarts"), reopening the
+//! same database and re-running the identical pipeline replays everything
+//! from disk and issues **zero** new platform calls.
+//!
+//! This is the property that makes a Reprowd experiment reproducible: the
+//! database file alone carries the full crowdsourced state.
+
+use reprowd::platform::{CrowdPlatform, SimPlatform};
+use reprowd::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("reprowd-recovery-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.join(name);
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+fn objects(n: usize) -> Vec<Value> {
+    (0..n)
+        .map(|i| {
+            val!({
+                "url": format!("img{i}.jpg"),
+                "_sim": {"kind": "label", "truth": (i % 3).min(1), "labels": ["Yes", "No"], "difficulty": 0.05}
+            })
+        })
+        .collect()
+}
+
+fn pipeline(cc: &reprowd::core::CrowdContext, n: usize) -> reprowd::core::CrowdData {
+    cc.crowddata("recovery")
+        .unwrap()
+        .data(objects(n))
+        .unwrap()
+        .presenter(Presenter::image_label("Is this a cat?", &["Yes", "No"]))
+        .unwrap()
+        .publish(3)
+        .unwrap()
+        .collect()
+        .unwrap()
+        .majority_vote()
+        .unwrap()
+}
+
+/// The ISSUE's scenario verbatim: publish + collect, drop the context,
+/// reopen the same store, re-run the pipeline — zero new platform calls.
+#[test]
+fn reopened_store_reruns_with_zero_platform_calls() {
+    let path = tmp("zero-calls.rwlog");
+    let platform = Arc::new(SimPlatform::quick(6, 0.9, 4242));
+
+    let (first_mv, first_result) = {
+        let cc = reprowd::core::CrowdContext::on_disk(
+            Arc::clone(&platform) as Arc<dyn CrowdPlatform>,
+            &path,
+            SyncPolicy::Always,
+        )
+        .unwrap();
+        let cd = pipeline(&cc, 20);
+        (cd.column("mv").unwrap(), cd.column("result").unwrap())
+        // `cc` (and with it the DiskStore handle) drops here: the "crash".
+    };
+
+    let calls_before_rerun = platform.api_calls();
+    assert!(calls_before_rerun > 0, "the fresh run must have hit the platform");
+
+    // A brand-new context over the same file.
+    let cc = reprowd::core::CrowdContext::on_disk(
+        Arc::clone(&platform) as Arc<dyn CrowdPlatform>,
+        &path,
+        SyncPolicy::Always,
+    )
+    .unwrap();
+    let cd = pipeline(&cc, 20);
+
+    assert_eq!(
+        platform.api_calls(),
+        calls_before_rerun,
+        "rerun after crash+reopen must issue zero new platform calls"
+    );
+    let s = cd.run_stats();
+    assert_eq!(s.tasks_published, 0);
+    assert_eq!(s.results_collected, 0);
+    assert_eq!(s.tasks_reused, 20);
+    assert_eq!(s.results_reused, 20);
+    // And the answers are bit-identical, not merely free.
+    assert_eq!(cd.column("mv").unwrap(), first_mv);
+    assert_eq!(cd.column("result").unwrap(), first_result);
+}
+
+/// Crash *between* publish and collect: the rerun must not republish a
+/// single task — it only pays the result fetches the crash swallowed.
+#[test]
+fn crash_between_publish_and_collect_republishes_nothing() {
+    let path = tmp("mid-crash.rwlog");
+    let platform = Arc::new(SimPlatform::quick(6, 0.9, 7));
+
+    {
+        let cc = reprowd::core::CrowdContext::on_disk(
+            Arc::clone(&platform) as Arc<dyn CrowdPlatform>,
+            &path,
+            SyncPolicy::Always,
+        )
+        .unwrap();
+        let _published = cc
+            .crowddata("recovery")
+            .unwrap()
+            .data(objects(12))
+            .unwrap()
+            .presenter(Presenter::image_label("Is this a cat?", &["Yes", "No"]))
+            .unwrap()
+            .publish(3)
+            .unwrap();
+        // Crash before collect().
+    }
+
+    let cc = reprowd::core::CrowdContext::on_disk(
+        Arc::clone(&platform) as Arc<dyn CrowdPlatform>,
+        &path,
+        SyncPolicy::Always,
+    )
+    .unwrap();
+    let cd = pipeline(&cc, 12);
+    let s = cd.run_stats();
+    assert_eq!(s.tasks_published, 0, "publish must be fully recovered from the store");
+    assert_eq!(s.tasks_reused, 12);
+    assert_eq!(s.results_collected, 12, "only the lost collect step is re-done");
+    assert_eq!(cd.column("mv").unwrap().len(), 12);
+
+    // A third run is now entirely free.
+    let calls = platform.api_calls();
+    let _ = pipeline(&cc, 12);
+    assert_eq!(platform.api_calls(), calls, "fully-cached rerun must be free");
+}
+
+/// Recovery also survives many crash/reopen cycles with a growing dataset:
+/// every cycle pays only for its delta, never for history.
+#[test]
+fn repeated_crashes_pay_only_deltas() {
+    let path = tmp("cycles.rwlog");
+    let platform = Arc::new(SimPlatform::quick(6, 0.9, 99));
+
+    let mut published_total = 0u64;
+    for n in [3usize, 6, 9, 12] {
+        let cc = reprowd::core::CrowdContext::on_disk(
+            Arc::clone(&platform) as Arc<dyn CrowdPlatform>,
+            &path,
+            SyncPolicy::Always,
+        )
+        .unwrap();
+        let cd = pipeline(&cc, n);
+        let s = cd.run_stats();
+        assert_eq!(s.tasks_reused as usize, n - 3, "cycle n={n} must reuse its prefix");
+        assert_eq!(s.tasks_published, 3, "cycle n={n} must pay exactly its delta");
+        published_total += s.tasks_published;
+        // Context dropped: next loop iteration is a fresh "process".
+    }
+    assert_eq!(published_total, 12);
+}
