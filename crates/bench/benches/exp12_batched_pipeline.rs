@@ -1,0 +1,98 @@
+//! E12 — the batched publish/collect pipeline: round-trip counts stop
+//! scaling linearly in rows, results stay bit-identical at every batch
+//! size, and the ISSUE's acceptance bound holds (n=1000 with batch size
+//! 100 issues ≤ 5% of the per-row path's platform calls).
+
+use reprowd_bench::{banner, label_objects, table, timed};
+use reprowd_core::exec::ExecutionConfig;
+use reprowd_core::presenter::Presenter;
+use reprowd_core::{CrowdContext, CrowdData};
+use reprowd_platform::{CrowdPlatform, SimPlatform};
+use reprowd_storage::MemoryStore;
+use std::sync::Arc;
+
+fn batched_context(batch_size: usize, seed: u64) -> (CrowdContext, Arc<SimPlatform>) {
+    let platform = Arc::new(SimPlatform::quick(7, 0.9, seed));
+    let cc = CrowdContext::with_config(
+        Arc::clone(&platform) as Arc<dyn CrowdPlatform>,
+        Arc::new(MemoryStore::new()),
+        ExecutionConfig::with_batch_size(batch_size),
+    )
+    .expect("batched context");
+    (cc, platform)
+}
+
+fn run(cc: &CrowdContext, n: usize) -> CrowdData {
+    cc.crowddata("e12")
+        .unwrap()
+        .data(label_objects(n, 0.1))
+        .unwrap()
+        .presenter(Presenter::image_label("Is this a cat?", &["Yes", "No"]))
+        .unwrap()
+        .publish(3)
+        .unwrap()
+        .collect()
+        .unwrap()
+        .majority_vote()
+        .unwrap()
+}
+
+fn main() {
+    banner(
+        "E12",
+        "Batched publish/collect (n=1000, batch size sweep)",
+        "ROADMAP 'Async batched publish/collect' — round-trips stop scaling in rows",
+    );
+    let n = 1000;
+
+    // Reference: the per-row pipeline (batch size 1 reproduces it exactly).
+    let (cc_row, p_row) = batched_context(1, 42);
+    let (baseline, row_ms) = timed(|| run(&cc_row, n));
+    let row_calls = p_row.api_calls();
+
+    let mut rows = Vec::new();
+    rows.push(vec![
+        "1 (per-row)".to_string(),
+        row_calls.to_string(),
+        format!("{:.1}", cc_row.batch_metrics().rows_per_publish_call()),
+        format!("{row_ms:.1}"),
+        "100.0%".to_string(),
+        "-".to_string(),
+    ]);
+
+    for batch in [10usize, 100, 1000] {
+        let (cc, platform) = batched_context(batch, 42);
+        let (cd, ms) = timed(|| run(&cc, n));
+        let calls = platform.api_calls();
+        let m = cc.batch_metrics();
+        let identical = cd.column("result").unwrap() == baseline.column("result").unwrap()
+            && cd.column("mv").unwrap() == baseline.column("mv").unwrap();
+        rows.push(vec![
+            batch.to_string(),
+            calls.to_string(),
+            format!("{:.1}", m.rows_per_publish_call()),
+            format!("{ms:.1}"),
+            format!("{:.1}%", 100.0 * calls as f64 / row_calls as f64),
+            identical.to_string(),
+        ]);
+        assert!(identical, "batch size {batch} must reproduce per-row results bit-for-bit");
+        assert_eq!(
+            m.round_trips(),
+            2 * (n as u64).div_ceil(batch as u64),
+            "batch size {batch}: round-trips must be 2·⌈n/batch⌉"
+        );
+        if batch == 100 {
+            // The acceptance criterion: ≤ 5% of the per-row path's calls.
+            assert!(
+                (calls as f64) <= 0.05 * row_calls as f64,
+                "batch 100 must issue ≤5% of per-row calls ({calls} vs {row_calls})"
+            );
+        }
+    }
+
+    table(
+        &["batch size", "api calls", "rows/publish call", "ms", "calls vs per-row", "identical"],
+        &rows,
+    );
+    println!("\nPASS: ≤5% of per-row calls at batch 100; identical columns at every size.");
+}

@@ -5,12 +5,14 @@
 
 use reprowd_bench::{banner, label_objects, table};
 use reprowd_core::context::CrowdContext;
+use reprowd_core::exec::ExecutionConfig;
 use reprowd_core::presenter::Presenter;
 use reprowd_platform::{CrowdPlatform, FailingPlatform, SimPlatform};
 use reprowd_storage::MemoryStore;
 use std::sync::Arc;
 
 const N_TASKS: usize = 200;
+const BATCH: usize = 10;
 
 fn run(cc: &CrowdContext) -> reprowd_core::Result<reprowd_core::CrowdData> {
     cc.crowddata("crash")?
@@ -23,16 +25,18 @@ fn run(cc: &CrowdContext) -> reprowd_core::Result<reprowd_core::CrowdData> {
 
 fn main() {
     banner("E4", "crash-and-rerun recovery cost", "'rerunning the program is as if it has never crashed'");
-    // A full run needs 1 project + 200 publishes + 200 fetches = 401 calls.
-    let full_calls = 401u64;
+    // A full run in batches of 10 needs 1 project + 20 bulk publishes +
+    // 20 bulk fetches = 41 platform round-trips.
+    let full_calls = 1 + 2 * (N_TASKS / BATCH) as u64;
     let mut rows = Vec::new();
     for pct in [10u64, 25, 50, 75, 90] {
         let budget = full_calls * pct / 100;
         let inner = Arc::new(SimPlatform::quick(7, 0.9, pct));
         let failing = Arc::new(FailingPlatform::new(Arc::clone(&inner), budget));
-        let cc = CrowdContext::new(
+        let cc = CrowdContext::with_config(
             Arc::clone(&failing) as Arc<dyn CrowdPlatform>,
             Arc::new(MemoryStore::new()),
+            ExecutionConfig::with_batch_size(BATCH),
         )
         .unwrap();
         let crashed = run(&cc);
@@ -61,5 +65,8 @@ fn main() {
         &["crash at", "calls before crash", "rows reused", "rows published on rerun", "rerun calls", "total rows"],
         &rows,
     );
-    println!("\nPASS: total platform calls across crash+rerun always equal one clean run ({full_calls}).");
+    println!(
+        "\nPASS: crashes land between batches; total platform round-trips across \
+         crash+rerun always equal one clean run ({full_calls})."
+    );
 }

@@ -4,13 +4,15 @@
 
 use crate::crowddata::CrowdData;
 use crate::error::{Error, Result};
+use crate::exec::{BatchMetricsSnapshot, ExecutionConfig, ExecutionContext};
 use crate::store::{ExperimentStore, Manifest};
 use reprowd_platform::{CrowdPlatform, SimPlatform};
 use reprowd_storage::{Backend, DiskStore, MemoryStore, SyncPolicy};
 use std::path::Path;
 use std::sync::Arc;
 
-/// The session object: platform + database + the experiment tables.
+/// The session object: platform + database + the experiment tables, plus
+/// the [`ExecutionContext`] that batches their traffic.
 ///
 /// Cloning is cheap (all `Arc`s); a context can be shared across operator
 /// pipelines and threads.
@@ -19,13 +21,34 @@ pub struct CrowdContext {
     platform: Arc<dyn CrowdPlatform>,
     backend: Arc<dyn Backend>,
     store: Arc<ExperimentStore>,
+    exec: ExecutionContext,
 }
 
 impl CrowdContext {
-    /// Builds a context from an arbitrary platform and database backend.
+    /// Builds a context from an arbitrary platform and database backend,
+    /// with the default [`ExecutionConfig`].
     pub fn new(platform: Arc<dyn CrowdPlatform>, backend: Arc<dyn Backend>) -> Result<Self> {
+        CrowdContext::with_config(platform, backend, ExecutionConfig::default())
+    }
+
+    /// Builds a context with an explicit execution policy (batch size).
+    pub fn with_config(
+        platform: Arc<dyn CrowdPlatform>,
+        backend: Arc<dyn Backend>,
+        config: ExecutionConfig,
+    ) -> Result<Self> {
         let store = Arc::new(ExperimentStore::open(Arc::clone(&backend))?);
-        Ok(CrowdContext { platform, backend, store })
+        let exec = ExecutionContext::new(config)?;
+        Ok(CrowdContext { platform, backend, store, exec })
+    }
+
+    /// A copy of this context using `batch_size` rows per platform
+    /// round-trip. Shares the platform, database, and batch metrics with
+    /// `self`; errors if `batch_size` is 0.
+    pub fn with_batch_size(&self, batch_size: usize) -> Result<Self> {
+        let mut cc = self.clone();
+        cc.exec = self.exec.retuned(batch_size)?;
+        Ok(cc)
     }
 
     /// A context over a simulated crowd (5 workers, ability 0.85) and an
@@ -106,6 +129,25 @@ impl CrowdContext {
     /// The platform this context publishes to.
     pub fn platform(&self) -> &Arc<dyn CrowdPlatform> {
         &self.platform
+    }
+
+    /// The execution policy + metrics threaded through `publish`/`collect`.
+    pub fn exec(&self) -> &ExecutionContext {
+        &self.exec
+    }
+
+    /// Rows per platform round-trip (see
+    /// [`ExecutionConfig::batch_size`]).
+    pub fn batch_size(&self) -> usize {
+        self.exec.batch_size()
+    }
+
+    /// A snapshot of the round-trip counters accumulated by this context
+    /// lineage (shared across clones and [`with_batch_size`] derivatives).
+    ///
+    /// [`with_batch_size`]: CrowdContext::with_batch_size
+    pub fn batch_metrics(&self) -> BatchMetricsSnapshot {
+        self.exec.metrics().snapshot()
     }
 
     /// The raw database backend (snapshots, stats).

@@ -32,6 +32,19 @@ use reprowd_quality::{
 };
 use std::collections::{BTreeMap, HashMap};
 
+/// Enforces the bulk-endpoint contract ("all-or-nothing, results in
+/// request order"): a platform answering a bulk call with the wrong
+/// cardinality would otherwise silently leave tail rows unpersisted.
+fn check_bulk_len(op: &str, got: usize, requested: usize) -> Result<()> {
+    if got != requested {
+        return Err(Error::State(format!(
+            "platform bulk contract violated: {op} returned {got} items for a \
+             batch of {requested}"
+        )));
+    }
+    Ok(())
+}
+
 /// One row of a CrowdData table.
 #[derive(Debug, Clone)]
 pub struct Row {
@@ -167,12 +180,24 @@ impl CrowdData {
     /// Step 3: publishes one task per row that does not already have a
     /// cached task cell, each asking for `n_assignments` distinct workers.
     ///
-    /// Crash safety: each accepted task is persisted before the next is
-    /// published, so a crash mid-loop loses at most the task in flight.
-    /// (If the process dies between platform accept and the local write,
-    /// the rerun publishes a duplicate task — the same exposure the
-    /// original system has against PyBossa; the stale task is simply never
-    /// collected.)
+    /// Cache-missing rows are published in batches of the context's
+    /// [`batch_size`](crate::CrowdContext::batch_size): each batch is one
+    /// bulk platform round-trip
+    /// ([`publish_tasks`](reprowd_platform::CrowdPlatform::publish_tasks))
+    /// followed by one atomic database write, and is recorded in the
+    /// context's [`BatchMetrics`](crate::exec::BatchMetrics). Batch size
+    /// does not change what gets published — ids, payloads, and collected
+    /// answers are bit-identical for every batch size; size 1 reproduces
+    /// the historical per-row pipeline exactly, API-call counts included.
+    ///
+    /// Crash safety: each batch is persisted (all-or-nothing) before the
+    /// next one is published, so a crash mid-`publish` repays at most the
+    /// one batch in flight on rerun — cached batches replay from the
+    /// database with zero platform traffic. (If the process dies between
+    /// the platform accepting a batch and the local write, the rerun
+    /// publishes duplicate tasks for that batch — the same exposure the
+    /// original system has against PyBossa, now bounded by the batch
+    /// size; the stale tasks are simply never collected.)
     pub fn publish(mut self, n_assignments: u32) -> Result<Self> {
         if !self.data_set {
             return Err(Error::State("publish before data: call data(...) first".into()));
@@ -193,7 +218,9 @@ impl CrowdData {
             self.save_manifest()?;
         }
 
-        let mut project: Option<u64> = None;
+        // Pass 1: serve cache hits; remember the rows that genuinely need
+        // the crowd, along with the cache key each will be stored under.
+        let mut misses: Vec<(usize, String)> = Vec::new();
         for i in 0..self.rows.len() {
             if self.rows[i].task.is_some() {
                 continue;
@@ -204,25 +231,67 @@ impl CrowdData {
                 self.stats.tasks_reused += 1;
                 continue;
             }
-            // Cache miss: this row genuinely needs the crowd.
-            let pid = match project {
-                Some(pid) => pid,
-                None => {
-                    let pid = self.ensure_project(&presenter)?;
-                    project = Some(pid);
-                    pid
-                }
-            };
-            let payload = presenter.render(&self.rows[i].object);
-            let task =
-                self.ctx.platform().publish_task(pid, TaskSpec { payload, n_assignments })?;
-            let stored =
-                StoredTask { task, object: self.rows[i].object.clone(), n_assignments };
-            self.ctx.store().tasks.put(key.as_bytes(), &stored)?;
-            self.rows[i].task = Some(stored);
-            self.stats.tasks_published += 1;
+            misses.push((i, key));
         }
+        if misses.is_empty() {
+            // Fully cached: zero platform traffic, the sharable guarantee.
+            return Ok(self);
+        }
+
+        // Pass 2: bulk-publish the misses, one batch per round-trip.
+        let pid = self.ensure_project(&presenter)?;
+        let work: Vec<(usize, String, u32)> =
+            misses.into_iter().map(|(i, key)| (i, key, n_assignments)).collect();
+        let published = self.bulk_publish(&presenter, pid, &work)?;
+        self.stats.tasks_published += published.len() as u64;
         Ok(self)
+    }
+
+    /// Bulk-publishes `work` — `(row index, cache key, redundancy)` — in
+    /// batches of the context's batch size: one platform round-trip plus
+    /// one atomic database write per batch (a crash repays at most the
+    /// batch in flight). Sets each row's task cell and returns the
+    /// published `(row index, task id)` pairs in input order. Shared by
+    /// `publish` and `collect`'s lost-task republish path, so both always
+    /// follow the same contract.
+    fn bulk_publish(
+        &mut self,
+        presenter: &Presenter,
+        pid: u64,
+        work: &[(usize, String, u32)],
+    ) -> Result<Vec<(usize, TaskId)>> {
+        let batch_size = self.ctx.exec().batch_size();
+        let mut published = Vec::with_capacity(work.len());
+        for chunk in work.chunks(batch_size) {
+            let specs: Vec<TaskSpec> = chunk
+                .iter()
+                .map(|&(i, _, n)| TaskSpec {
+                    payload: presenter.render(&self.rows[i].object),
+                    n_assignments: n,
+                })
+                .collect();
+            let tasks = self.ctx.platform().publish_tasks(pid, specs)?;
+            check_bulk_len("publish_tasks", tasks.len(), chunk.len())?;
+            self.ctx.exec().metrics().record_publish(chunk.len() as u64);
+            let stored: Vec<(String, StoredTask)> = chunk
+                .iter()
+                .zip(tasks)
+                .map(|(&(i, ref key, n), task)| {
+                    let cell = StoredTask {
+                        task,
+                        object: self.rows[i].object.clone(),
+                        n_assignments: n,
+                    };
+                    (key.clone(), cell)
+                })
+                .collect();
+            self.ctx.store().put_task_batch(&stored)?;
+            for (&(i, _, _), (_, cell)) in chunk.iter().zip(stored) {
+                published.push((i, cell.task.id));
+                self.rows[i].task = Some(cell);
+            }
+        }
+        Ok(published)
     }
 
     fn ensure_project(&mut self, presenter: &Presenter) -> Result<u64> {
@@ -245,19 +314,34 @@ impl CrowdData {
     /// Step 4: collects results. Rows with a cached result cell are served
     /// from the database (zero platform traffic); for the rest, the
     /// platform is driven until their tasks complete and the runs are
-    /// persisted.
+    /// fetched in batches of the context's
+    /// [`batch_size`](crate::CrowdContext::batch_size) — one bulk
+    /// round-trip
+    /// ([`fetch_runs_bulk`](reprowd_platform::CrowdPlatform::fetch_runs_bulk))
+    /// plus one atomic database write per batch, recorded in the context's
+    /// [`BatchMetrics`](crate::exec::BatchMetrics).
     ///
-    /// If the platform no longer knows a published task (the platform
-    /// itself restarted — distinct from a client crash), the task is
-    /// transparently re-published and counted in
-    /// [`RunStats::tasks_republished`].
+    /// Crash safety mirrors [`publish`](CrowdData::publish): results land
+    /// in the database batch by batch, so a crash mid-`collect` re-fetches
+    /// at most the one batch in flight on rerun (the crowd work itself is
+    /// never redone — the tasks stay collected on the platform).
+    ///
+    /// Completion is probed in bulk too
+    /// ([`are_complete`](reprowd_platform::CrowdPlatform::are_complete),
+    /// one probe per batch), so no stage of `collect` scales its platform
+    /// round-trips linearly in rows. If the platform no longer knows a
+    /// published task (the platform itself restarted — distinct from a
+    /// client crash), the task is transparently re-published (also in
+    /// batches) and counted in [`RunStats::tasks_republished`].
     pub fn collect(mut self) -> Result<Self> {
         let presenter = self
             .presenter
             .clone()
             .ok_or_else(|| Error::State("collect before presenter".into()))?;
         let fp = presenter.fingerprint();
-        let mut pending: Vec<(usize, TaskId)> = Vec::new();
+        // Cache pass: serve cached results; remember candidate rows
+        // (index, cache key, task id, redundancy) that need the platform.
+        let mut candidates: Vec<(usize, String, TaskId, u32)> = Vec::new();
         for i in 0..self.rows.len() {
             if self.rows[i].result.is_some() {
                 continue;
@@ -268,47 +352,66 @@ impl CrowdData {
                 self.stats.results_reused += 1;
                 continue;
             }
-            let Some(stored) = self.rows[i].task.clone() else {
+            let Some(stored) = self.rows[i].task.as_ref() else {
                 return Err(Error::State(format!(
                     "collect before publish: row {i} has no task"
                 )));
             };
-            // Verify the platform still knows the task; republish if not.
-            match self.ctx.platform().is_complete(stored.task.id) {
-                Ok(_) => pending.push((i, stored.task.id)),
-                Err(reprowd_platform::Error::UnknownTask(_)) => {
-                    let pid = self.ensure_project(&presenter)?;
-                    let payload = presenter.render(&self.rows[i].object);
-                    let task = self.ctx.platform().publish_task(
-                        pid,
-                        TaskSpec { payload, n_assignments: stored.n_assignments },
-                    )?;
-                    let restored = StoredTask {
-                        task,
-                        object: self.rows[i].object.clone(),
-                        n_assignments: stored.n_assignments,
-                    };
-                    self.ctx.store().tasks.put(key.as_bytes(), &restored)?;
-                    let id = restored.task.id;
-                    self.rows[i].task = Some(restored);
-                    self.stats.tasks_republished += 1;
-                    pending.push((i, id));
+            candidates.push((i, key, stored.task.id, stored.n_assignments));
+        }
+
+        // Status pass: one bulk probe per batch tells us which tasks the
+        // platform still knows (a platform restart loses tasks — distinct
+        // from a client crash, whose state lives in our database).
+        let mut pending: Vec<(usize, TaskId)> = Vec::new();
+        let mut lost: Vec<(usize, String, u32)> = Vec::new();
+        let batch_size = self.ctx.exec().batch_size();
+        for chunk in candidates.chunks(batch_size) {
+            let ids: Vec<TaskId> = chunk.iter().map(|&(_, _, id, _)| id).collect();
+            let statuses = self.ctx.platform().are_complete(&ids)?;
+            check_bulk_len("are_complete", statuses.len(), chunk.len())?;
+            for ((i, key, id, n), status) in chunk.iter().cloned().zip(statuses) {
+                match status {
+                    Some(_) => pending.push((i, id)),
+                    None => lost.push((i, key, n)),
                 }
-                Err(e) => return Err(e.into()),
             }
         }
+
+        // Batch-republish rows whose tasks the platform lost.
+        if !lost.is_empty() {
+            let pid = self.ensure_project(&presenter)?;
+            let republished = self.bulk_publish(&presenter, pid, &lost)?;
+            self.stats.tasks_republished += republished.len() as u64;
+            pending.extend(republished);
+        }
+
         if pending.is_empty() {
             return Ok(self);
         }
         let ids: Vec<TaskId> = pending.iter().map(|&(_, id)| id).collect();
         self.ctx.platform().run_until_complete(&ids)?;
-        for (i, id) in pending {
-            let runs = self.ctx.platform().fetch_runs(id)?;
-            let key = ExperimentStore::row_key(&self.manifest.name, &fp, &self.rows[i].hash);
-            let stored = StoredResult { runs };
-            self.ctx.store().results.put(key.as_bytes(), &stored)?;
-            self.rows[i].result = Some(stored);
-            self.stats.results_collected += 1;
+        for chunk in pending.chunks(batch_size) {
+            let chunk_ids: Vec<TaskId> = chunk.iter().map(|&(_, id)| id).collect();
+            let runs_per_task = self.ctx.platform().fetch_runs_bulk(&chunk_ids)?;
+            check_bulk_len("fetch_runs_bulk", runs_per_task.len(), chunk.len())?;
+            self.ctx.exec().metrics().record_fetch(chunk.len() as u64);
+            let stored: Vec<(String, StoredResult)> = chunk
+                .iter()
+                .zip(runs_per_task)
+                .map(|(&(i, _), runs)| {
+                    let key =
+                        ExperimentStore::row_key(&self.manifest.name, &fp, &self.rows[i].hash);
+                    (key, StoredResult { runs })
+                })
+                .collect();
+            // One atomic write per batch: a crash re-fetches at most this
+            // batch.
+            self.ctx.store().put_result_batch(&stored)?;
+            for (&(i, _), (_, cell)) in chunk.iter().zip(stored) {
+                self.rows[i].result = Some(cell);
+                self.stats.results_collected += 1;
+            }
         }
         Ok(self)
     }
@@ -661,8 +764,9 @@ mod tests {
         assert_eq!(stats.tasks_published, 2);
         assert_eq!(stats.results_reused, 3);
         assert_eq!(stats.results_collected, 2);
-        // Platform saw exactly the delta (2 publishes + 2 fetches).
-        assert_eq!(platform.api_calls() - calls_before, 4);
+        // Platform saw exactly the delta, batched: one bulk publish of the
+        // 2 new rows + one bulk fetch of their runs.
+        assert_eq!(platform.api_calls() - calls_before, 2);
         assert_eq!(cd.column("mv").unwrap().len(), 5);
     }
 
@@ -859,6 +963,79 @@ mod tests {
             .unwrap();
         assert_eq!(cd.run_stats().tasks_republished, 1);
         assert_eq!(cd.rows()[0].result.as_ref().unwrap().runs.len(), 2);
+    }
+
+    #[test]
+    fn bulk_contract_violation_is_an_error_not_truncation() {
+        use reprowd_platform::types::{Project, ProjectId, SimTime, Task, TaskId, TaskRun};
+        use reprowd_platform::MockPlatform;
+
+        /// A misbehaving platform whose bulk publish drops the last task
+        /// (the "partial accept" some real bulk APIs perform).
+        struct ShortBulk(MockPlatform);
+
+        impl CrowdPlatform for ShortBulk {
+            fn name(&self) -> &str {
+                "short-bulk"
+            }
+            fn create_project(&self, name: &str) -> reprowd_platform::Result<ProjectId> {
+                self.0.create_project(name)
+            }
+            fn project(&self, id: ProjectId) -> reprowd_platform::Result<Project> {
+                self.0.project(id)
+            }
+            fn publish_task(
+                &self,
+                project: ProjectId,
+                spec: TaskSpec,
+            ) -> reprowd_platform::Result<Task> {
+                self.0.publish_task(project, spec)
+            }
+            fn publish_tasks(
+                &self,
+                project: ProjectId,
+                specs: Vec<TaskSpec>,
+            ) -> reprowd_platform::Result<Vec<Task>> {
+                let mut tasks = self.0.publish_tasks(project, specs)?;
+                tasks.pop();
+                Ok(tasks)
+            }
+            fn task(&self, id: TaskId) -> reprowd_platform::Result<Task> {
+                self.0.task(id)
+            }
+            fn fetch_runs(&self, task: TaskId) -> reprowd_platform::Result<Vec<TaskRun>> {
+                self.0.fetch_runs(task)
+            }
+            fn is_complete(&self, task: TaskId) -> reprowd_platform::Result<bool> {
+                self.0.is_complete(task)
+            }
+            fn step(&self) -> reprowd_platform::Result<bool> {
+                self.0.step()
+            }
+            fn api_calls(&self) -> u64 {
+                self.0.api_calls()
+            }
+            fn now(&self) -> SimTime {
+                self.0.now()
+            }
+        }
+
+        let backend: Arc<dyn Backend> = Arc::new(MemoryStore::new());
+        let cc = CrowdContext::new(Arc::new(ShortBulk(MockPlatform::echo())), backend).unwrap();
+        let err = cc
+            .crowddata("short")
+            .unwrap()
+            .data(vec![val!(1), val!(2), val!(3)])
+            .unwrap()
+            .presenter(Presenter::free_text("Q"))
+            .unwrap()
+            .publish(1)
+            .err()
+            .expect("short bulk response must surface as an error");
+        assert!(
+            err.to_string().contains("bulk contract violated"),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

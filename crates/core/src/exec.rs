@@ -1,0 +1,237 @@
+//! Execution policy and metrics of the batched publish/collect pipeline.
+//!
+//! [`publish`](crate::CrowdData::publish) and
+//! [`collect`](crate::CrowdData::collect) do not talk to the platform one
+//! row at a time: rows that miss the cache are partitioned into chunks of
+//! [`ExecutionConfig::batch_size`] and each chunk becomes **one** platform
+//! round-trip (bulk publish or bulk fetch) followed by **one** atomic
+//! database write. The [`ExecutionContext`] carries that policy plus the
+//! [`BatchMetrics`] accounting of every round-trip issued, so experiments
+//! can assert round-trip counts directly instead of inferring them from
+//! platform internals.
+//!
+//! Batch size is a pure performance knob: collected results are
+//! bit-identical for every batch size (see
+//! [`CrowdPlatform::publish_tasks`](reprowd_platform::CrowdPlatform::publish_tasks)
+//! for the platform-side contract that makes this hold), and `batch_size
+//! == 1` reproduces the historical per-row pipeline exactly, API-call
+//! counts included.
+
+use crate::error::{Error, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default number of rows per platform round-trip.
+///
+/// Large enough that E1-scale workloads (n=1000) collapse from ~2000
+/// round-trips to ~20; small enough that a crash between batches repays at
+/// most 100 rows of crowd work.
+pub const DEFAULT_BATCH_SIZE: usize = 100;
+
+/// Tunable execution policy of a [`CrowdContext`](crate::CrowdContext).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutionConfig {
+    /// Rows per platform round-trip in `publish`/`collect`. Must be ≥ 1;
+    /// `1` reproduces the per-row pipeline bit-for-bit.
+    pub batch_size: usize,
+}
+
+impl Default for ExecutionConfig {
+    fn default() -> Self {
+        ExecutionConfig { batch_size: DEFAULT_BATCH_SIZE }
+    }
+}
+
+impl ExecutionConfig {
+    /// A config with the given batch size.
+    pub fn with_batch_size(batch_size: usize) -> Self {
+        ExecutionConfig { batch_size }
+    }
+
+    /// Rejects invalid configurations (currently: `batch_size == 0`).
+    pub fn validate(&self) -> Result<()> {
+        if self.batch_size == 0 {
+            return Err(Error::State("batch_size must be at least 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Cumulative round-trip accounting, shared by every clone of a
+/// [`CrowdContext`](crate::CrowdContext) and every experiment run on it.
+///
+/// Counters only ever increase (they survive cache-hit runs unchanged,
+/// since cached rows issue no round-trips); diff two [`snapshot`]s to
+/// meter a region, the way the E12 bench does.
+///
+/// [`snapshot`]: BatchMetrics::snapshot
+#[derive(Debug, Default)]
+pub struct BatchMetrics {
+    publish_calls: AtomicU64,
+    publish_rows: AtomicU64,
+    fetch_calls: AtomicU64,
+    fetch_rows: AtomicU64,
+}
+
+impl BatchMetrics {
+    /// Records one bulk-publish round-trip carrying `rows` tasks.
+    pub(crate) fn record_publish(&self, rows: u64) {
+        self.publish_calls.fetch_add(1, Ordering::Relaxed);
+        self.publish_rows.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// Records one bulk-fetch round-trip carrying `rows` results.
+    pub(crate) fn record_fetch(&self, rows: u64) {
+        self.fetch_calls.fetch_add(1, Ordering::Relaxed);
+        self.fetch_rows.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> BatchMetricsSnapshot {
+        BatchMetricsSnapshot {
+            publish_calls: self.publish_calls.load(Ordering::Relaxed),
+            publish_rows: self.publish_rows.load(Ordering::Relaxed),
+            fetch_calls: self.fetch_calls.load(Ordering::Relaxed),
+            fetch_rows: self.fetch_rows.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`BatchMetrics`]; supports subtraction so a
+/// region of interest can be metered as `after.since(&before)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchMetricsSnapshot {
+    /// Bulk-publish round-trips issued.
+    pub publish_calls: u64,
+    /// Task rows carried by those publish round-trips.
+    pub publish_rows: u64,
+    /// Bulk-fetch round-trips issued.
+    pub fetch_calls: u64,
+    /// Result rows carried by those fetch round-trips.
+    pub fetch_rows: u64,
+}
+
+impl BatchMetricsSnapshot {
+    /// Total batched round-trips (publish + fetch). Project creation is
+    /// accounted by the platform's own [`api_calls`] counter, not here.
+    ///
+    /// [`api_calls`]: reprowd_platform::CrowdPlatform::api_calls
+    pub fn round_trips(&self) -> u64 {
+        self.publish_calls + self.fetch_calls
+    }
+
+    /// Mean rows per publish round-trip (0.0 if none were issued).
+    pub fn rows_per_publish_call(&self) -> f64 {
+        if self.publish_calls == 0 {
+            0.0
+        } else {
+            self.publish_rows as f64 / self.publish_calls as f64
+        }
+    }
+
+    /// Mean rows per fetch round-trip (0.0 if none were issued).
+    pub fn rows_per_fetch_call(&self) -> f64 {
+        if self.fetch_calls == 0 {
+            0.0
+        } else {
+            self.fetch_rows as f64 / self.fetch_calls as f64
+        }
+    }
+
+    /// The counter deltas accumulated since `earlier` was taken.
+    pub fn since(&self, earlier: &BatchMetricsSnapshot) -> BatchMetricsSnapshot {
+        BatchMetricsSnapshot {
+            publish_calls: self.publish_calls - earlier.publish_calls,
+            publish_rows: self.publish_rows - earlier.publish_rows,
+            fetch_calls: self.fetch_calls - earlier.fetch_calls,
+            fetch_rows: self.fetch_rows - earlier.fetch_rows,
+        }
+    }
+}
+
+/// Execution policy + metrics, owned by a
+/// [`CrowdContext`](crate::CrowdContext) and threaded through every
+/// `publish`/`collect` it runs.
+///
+/// Clones share the metrics (one ledger per context lineage) but carry
+/// their own copy of the config, which is how
+/// [`CrowdContext::with_batch_size`](crate::CrowdContext::with_batch_size)
+/// derives a re-tuned context without forking the accounting.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionContext {
+    config: ExecutionConfig,
+    metrics: Arc<BatchMetrics>,
+}
+
+impl ExecutionContext {
+    /// Builds an execution context from a validated config.
+    pub fn new(config: ExecutionConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(ExecutionContext { config, metrics: Arc::default() })
+    }
+
+    /// A copy with a different batch size, sharing this context's metrics.
+    pub fn retuned(&self, batch_size: usize) -> Result<Self> {
+        let config = ExecutionConfig { batch_size };
+        config.validate()?;
+        Ok(ExecutionContext { config, metrics: Arc::clone(&self.metrics) })
+    }
+
+    /// Rows per platform round-trip.
+    pub fn batch_size(&self) -> usize {
+        self.config.batch_size
+    }
+
+    /// The active config.
+    pub fn config(&self) -> &ExecutionConfig {
+        &self.config
+    }
+
+    /// The shared round-trip ledger.
+    pub fn metrics(&self) -> &BatchMetrics {
+        &self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_batch_size_rejected() {
+        assert!(ExecutionContext::new(ExecutionConfig::with_batch_size(0)).is_err());
+        assert!(ExecutionContext::default().retuned(0).is_err());
+        assert!(ExecutionConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn retuned_shares_metrics() {
+        let a = ExecutionContext::new(ExecutionConfig::with_batch_size(7)).unwrap();
+        let b = a.retuned(3).unwrap();
+        assert_eq!(a.batch_size(), 7);
+        assert_eq!(b.batch_size(), 3);
+        a.metrics().record_publish(5);
+        b.metrics().record_fetch(5);
+        let snap = a.metrics().snapshot();
+        assert_eq!(snap, b.metrics().snapshot());
+        assert_eq!(snap.publish_calls, 1);
+        assert_eq!(snap.fetch_rows, 5);
+    }
+
+    #[test]
+    fn snapshot_arithmetic() {
+        let m = BatchMetrics::default();
+        m.record_publish(100);
+        m.record_publish(50);
+        m.record_fetch(100);
+        let before = m.snapshot();
+        m.record_fetch(50);
+        let delta = m.snapshot().since(&before);
+        assert_eq!(delta.round_trips(), 1);
+        assert_eq!(delta.fetch_rows, 50);
+        assert_eq!(before.rows_per_publish_call(), 75.0);
+        assert_eq!(m.snapshot().rows_per_fetch_call(), 75.0);
+        assert_eq!(BatchMetricsSnapshot::default().rows_per_publish_call(), 0.0);
+        assert_eq!(BatchMetricsSnapshot::default().rows_per_fetch_call(), 0.0);
+    }
+}

@@ -41,9 +41,12 @@
 //!   persisted; they are recomputed deterministically, mirroring the
 //!   paper's design where only `task`/`result` columns hit the database.
 
+#![warn(missing_docs)]
+
 pub mod context;
 pub mod crowddata;
 pub mod error;
+pub mod exec;
 pub mod hash;
 pub mod lineage;
 pub mod presenter;
@@ -54,6 +57,7 @@ pub mod value;
 pub use context::CrowdContext;
 pub use crowddata::CrowdData;
 pub use error::{Error, Result};
+pub use exec::{BatchMetrics, BatchMetricsSnapshot, ExecutionConfig, ExecutionContext};
 pub use lineage::{CellLineage, Derivation};
 pub use presenter::Presenter;
 pub use turkit::CrashAndRerun;

@@ -102,6 +102,20 @@ impl ExperimentStore {
     pub fn row_key(experiment: &str, presenter_fp: &str, row_hash: &str) -> String {
         format!("{experiment}/{presenter_fp}/{row_hash}")
     }
+
+    /// Persists one publish batch worth of task cells **atomically** (one
+    /// log record): after a crash, either the whole batch is on disk or
+    /// none of it is, so recovery repays at most one batch of crowd work.
+    pub fn put_task_batch(&self, rows: &[(String, StoredTask)]) -> Result<()> {
+        self.tasks.put_many(rows.iter().map(|(k, v)| (k.as_bytes(), v)))?;
+        Ok(())
+    }
+
+    /// Persists one collect batch worth of result cells atomically.
+    pub fn put_result_batch(&self, rows: &[(String, StoredResult)]) -> Result<()> {
+        self.results.put_many(rows.iter().map(|(k, v)| (k.as_bytes(), v)))?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -149,6 +163,29 @@ mod tests {
         // Different presenter fingerprint = different key space.
         let other = ExperimentStore::row_key("exp1", "fp2", "abc123");
         assert!(s.tasks.get(other.as_bytes()).unwrap().is_none());
+    }
+
+    #[test]
+    fn batch_puts_land_atomically_per_call() {
+        let s = store();
+        let tasks: Vec<(String, StoredTask)> = (0..4u64)
+            .map(|i| (ExperimentStore::row_key("exp", "fp", &format!("h{i}")), task(i)))
+            .collect();
+        s.put_task_batch(&tasks).unwrap();
+        assert_eq!(s.tasks.len().unwrap(), 4);
+        assert_eq!(s.tasks.get(tasks[2].0.as_bytes()).unwrap(), Some(task(2)));
+        let results: Vec<(String, StoredResult)> = (0..4u64)
+            .map(|i| {
+                (ExperimentStore::row_key("exp", "fp", &format!("h{i}")),
+                 StoredResult { runs: Vec::new() })
+            })
+            .collect();
+        s.put_result_batch(&results).unwrap();
+        assert_eq!(s.results.len().unwrap(), 4);
+        // Empty batches are no-ops.
+        s.put_task_batch(&[]).unwrap();
+        s.put_result_batch(&[]).unwrap();
+        assert_eq!(s.tasks.len().unwrap(), 4);
     }
 
     #[test]

@@ -114,6 +114,30 @@ mod tests {
     }
 
     #[test]
+    fn operators_inherit_batched_round_trips() {
+        // Operators drive publish/collect through the public CrowdData
+        // API, so the context's batch size applies to them unmodified:
+        // 30 items in batches of 10 = 3 publish + 3 fetch round-trips.
+        use reprowd_core::exec::ExecutionConfig;
+        use reprowd_platform::{CrowdPlatform, SimPlatform};
+        use std::sync::Arc;
+
+        let platform = Arc::new(SimPlatform::quick(7, 1.0, 33));
+        let cc = CrowdContext::with_config(
+            Arc::clone(&platform) as Arc<dyn CrowdPlatform>,
+            Arc::new(reprowd_storage::MemoryStore::new()),
+            ExecutionConfig::with_batch_size(10),
+        )
+        .unwrap();
+        let cfg = CrowdLabelConfig::new("lab", "Q?", &["Yes", "No"]);
+        let out = crowd_label(&cc, items(30), &cfg).unwrap();
+        assert_eq!(out.stats.tasks_published, 30);
+        let m = cc.batch_metrics();
+        assert_eq!((m.publish_calls, m.fetch_calls), (3, 3));
+        assert_eq!(platform.api_calls(), 7, "create + 3 bulk publishes + 3 bulk fetches");
+    }
+
+    #[test]
     fn all_aggregations_run() {
         for (agg, seed) in
             [(Aggregation::MajorityVote, 1u64), (Aggregation::Em, 2), (Aggregation::DawidSkene, 3)]

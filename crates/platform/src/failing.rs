@@ -79,6 +79,18 @@ impl<P: CrowdPlatform> CrowdPlatform for FailingPlatform<P> {
         self.inner.publish_task(project, spec)
     }
 
+    /// One budget unit per bulk request (a batch is one round-trip), then
+    /// forwards to the wrapped platform's bulk publish. A crash therefore
+    /// lands *between* batches — the granularity the batched pipeline's
+    /// recovery story is built on.
+    fn publish_tasks(&self, project: ProjectId, specs: Vec<TaskSpec>) -> Result<Vec<Task>> {
+        if specs.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.charge()?;
+        self.inner.publish_tasks(project, specs)
+    }
+
     fn task(&self, id: TaskId) -> Result<Task> {
         self.charge()?;
         self.inner.task(id)
@@ -89,8 +101,26 @@ impl<P: CrowdPlatform> CrowdPlatform for FailingPlatform<P> {
         self.inner.fetch_runs(task)
     }
 
+    /// One budget unit per bulk request, then forwards to the wrapped
+    /// platform's bulk fetch.
+    fn fetch_runs_bulk(&self, tasks: &[TaskId]) -> Result<Vec<Vec<TaskRun>>> {
+        if tasks.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.charge()?;
+        self.inner.fetch_runs_bulk(tasks)
+    }
+
     fn is_complete(&self, task: TaskId) -> Result<bool> {
         self.inner.is_complete(task)
+    }
+
+    /// Status probes are never charged, like [`is_complete`]
+    /// (the budget models the calls the experiments count).
+    ///
+    /// [`is_complete`]: CrowdPlatform::is_complete
+    fn are_complete(&self, tasks: &[TaskId]) -> Result<Vec<Option<bool>>> {
+        self.inner.are_complete(tasks)
     }
 
     fn step(&self) -> Result<bool> {
@@ -125,18 +155,40 @@ mod tests {
 
     #[test]
     fn partial_publish_leaves_prefix_on_platform() {
-        // Publishing 5 tasks with budget 1+3: the project plus three tasks
-        // land; the rest fail. Exactly the crash-mid-step-3 scenario.
+        // Publishing 6 tasks in batches of 2 with budget 1+2: the project
+        // plus two whole batches land; the third batch fails. Exactly the
+        // crash-between-batches scenario the batched pipeline recovers from.
         let inner = Arc::new(MockPlatform::echo());
-        let p = FailingPlatform::new(Arc::clone(&inner), 4);
+        let p = FailingPlatform::new(Arc::clone(&inner), 3);
         let proj = p.create_project("x").unwrap();
-        let specs: Vec<TaskSpec> = (0..5)
+        let spec = |i: i32| TaskSpec { payload: serde_json::json!(i), n_assignments: 1 };
+        assert_eq!(p.publish_tasks(proj, vec![spec(0), spec(1)]).unwrap().len(), 2);
+        assert_eq!(p.publish_tasks(proj, vec![spec(2), spec(3)]).unwrap().len(), 2);
+        let err = p.publish_tasks(proj, vec![spec(4), spec(5)]).unwrap_err();
+        assert!(matches!(err, Error::Injected(_)));
+        // Four tasks (two atomic batches) made it to the real platform
+        // before the "crash"; the failed batch left nothing behind.
+        assert_eq!(inner.api_calls(), 3); // create + 2 bulk publishes
+    }
+
+    #[test]
+    fn bulk_ops_cost_one_budget_unit_each() {
+        let inner = Arc::new(MockPlatform::echo());
+        let p = FailingPlatform::new(Arc::clone(&inner), 2);
+        let proj = p.create_project("x").unwrap(); // 1 unit
+        let specs: Vec<TaskSpec> = (0..10)
             .map(|i| TaskSpec { payload: serde_json::json!(i), n_assignments: 1 })
             .collect();
-        let err = p.publish_tasks(proj, specs).unwrap_err();
-        assert!(matches!(err, Error::Injected(_)));
-        // Three tasks made it to the real platform before the "crash".
-        assert_eq!(inner.api_calls(), 4); // create + 3 publishes
+        // 10 specs, 1 unit: a batch is one round-trip.
+        let tasks = p.publish_tasks(proj, specs).unwrap();
+        assert_eq!(tasks.len(), 10);
+        assert_eq!(p.remaining(), 0);
+        // Empty bulk requests are free even with an exhausted budget.
+        assert!(p.publish_tasks(proj, Vec::new()).unwrap().is_empty());
+        assert!(p.fetch_runs_bulk(&[]).unwrap().is_empty());
+        // A non-empty bulk fetch now fails: the budget is spent.
+        let ids: Vec<_> = tasks.iter().map(|t| t.id).collect();
+        assert!(matches!(p.fetch_runs_bulk(&ids).unwrap_err(), Error::Injected(_)));
     }
 
     #[test]

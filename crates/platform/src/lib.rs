@@ -10,8 +10,8 @@
 //! one run per worker per task), plus a **deterministic discrete-event
 //! worker simulator** standing in for the human crowd:
 //!
-//! * [`types`] — [`Project`](types::Project), [`Task`](types::Task),
-//!   [`TaskRun`](types::TaskRun): the PyBossa-equivalent records, including
+//! * [`types`] — [`Project`], [`Task`], [`TaskRun`]: the
+//!   PyBossa-equivalent records, including
 //!   the lineage fields (who answered, when published/assigned/submitted)
 //!   the paper's *examinable* requirement needs.
 //! * [`platform`] — the [`CrowdPlatform`] trait the client library codes
@@ -28,6 +28,8 @@
 //! than a human crowd and deliberately so: it lets the reproducibility
 //! experiments distinguish "same answers because cached" (Reprowd's
 //! guarantee) from "same answers by luck".
+
+#![warn(missing_docs)]
 
 pub mod error;
 pub mod failing;

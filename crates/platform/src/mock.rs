@@ -110,6 +110,44 @@ impl CrowdPlatform for MockPlatform {
         Ok(task)
     }
 
+    /// Native bulk publish: one API call, atomic. Specs are validated up
+    /// front, then registered exactly as sequential
+    /// [`publish_task`](CrowdPlatform::publish_task) calls would be
+    /// (including the per-task clock tick), so results are bit-identical
+    /// across batch sizes.
+    fn publish_tasks(&self, project: ProjectId, specs: Vec<TaskSpec>) -> Result<Vec<Task>> {
+        if specs.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.bump();
+        if specs.iter().any(|s| s.n_assignments == 0) {
+            return Err(Error::InvalidRequest("n_assignments must be positive".into()));
+        }
+        let mut s = self.state.lock();
+        if !s.projects.contains_key(&project) {
+            return Err(Error::UnknownProject(project));
+        }
+        let mut out = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let id = s.next_task;
+            s.next_task += 1;
+            s.clock += 1;
+            let task = Task {
+                id,
+                project_id: project,
+                payload: spec.payload,
+                n_assignments: spec.n_assignments,
+                published_at: s.clock,
+                status: TaskStatus::Open,
+            };
+            s.tasks.insert(id, task.clone());
+            s.runs.insert(id, Vec::new());
+            s.pending.push(id);
+            out.push(task);
+        }
+        Ok(out)
+    }
+
     fn task(&self, id: TaskId) -> Result<Task> {
         self.bump();
         self.state.lock().tasks.get(&id).cloned().ok_or(Error::UnknownTask(id))
@@ -120,10 +158,33 @@ impl CrowdPlatform for MockPlatform {
         self.state.lock().runs.get(&task).cloned().ok_or(Error::UnknownTask(task))
     }
 
+    /// Native bulk fetch: one API call, one consistent snapshot; an
+    /// unknown id fails the whole call.
+    fn fetch_runs_bulk(&self, tasks: &[TaskId]) -> Result<Vec<Vec<TaskRun>>> {
+        if tasks.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.bump();
+        let s = self.state.lock();
+        tasks
+            .iter()
+            .map(|&t| s.runs.get(&t).cloned().ok_or(Error::UnknownTask(t)))
+            .collect()
+    }
+
     fn is_complete(&self, task: TaskId) -> Result<bool> {
         let s = self.state.lock();
         let t = s.tasks.get(&task).ok_or(Error::UnknownTask(task))?;
         Ok(t.status == TaskStatus::Completed)
+    }
+
+    /// Native bulk status probe: one lock acquisition, one snapshot.
+    fn are_complete(&self, tasks: &[TaskId]) -> Result<Vec<Option<bool>>> {
+        let s = self.state.lock();
+        Ok(tasks
+            .iter()
+            .map(|t| s.tasks.get(t).map(|task| task.status == TaskStatus::Completed))
+            .collect())
     }
 
     fn step(&self) -> Result<bool> {

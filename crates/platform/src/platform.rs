@@ -2,7 +2,7 @@
 //!
 //! Mirrors the subset of the PyBossa API the original system uses:
 //! create a project, publish tasks into it, poll for completion, fetch task
-//! runs. Two additions serve the reproduction:
+//! runs. Three additions serve the reproduction:
 //!
 //! * **API-call accounting** ([`CrowdPlatform::api_calls`]) — the paper's
 //!   sharable property is "rerunning Bob's code issues no new crowd work",
@@ -11,6 +11,13 @@
 //!   produces answers only when the event loop advances; a real platform
 //!   would return `false` ("nothing to do locally") and rely on wall-clock
 //!   polling.
+//! * **Bulk operations** ([`CrowdPlatform::publish_tasks`],
+//!   [`CrowdPlatform::fetch_runs_bulk`],
+//!   [`CrowdPlatform::are_complete`]) — the batched pipeline publishes,
+//!   probes, and fetches in chunks, so end-to-end cost stops scaling
+//!   linearly in round-trips. Implementations that override the defaults
+//!   count one API call per bulk publish/fetch request, matching how real
+//!   bulk endpoints bill (status probes stay free, like `is_complete`).
 
 use crate::error::{Error, Result};
 use crate::types::{Project, ProjectId, SimTime, Task, TaskId, TaskRun, TaskSpec};
@@ -32,12 +39,25 @@ pub trait CrowdPlatform: Send + Sync {
     /// Publishes one task. Counts as one API call.
     fn publish_task(&self, project: ProjectId, spec: TaskSpec) -> Result<Task>;
 
-    /// Publishes many tasks; default = sequential [`publish_task`] calls,
-    /// failing fast on the first error (tasks already accepted stay
-    /// accepted — exactly how a remote API behaves when the client dies
-    /// mid-loop, which the crash experiments rely on).
+    /// Publishes many tasks in one request.
+    ///
+    /// The default implementation is sequential [`publish_task`] calls
+    /// (one API call *per spec*), failing fast on the first error — tasks
+    /// already accepted stay accepted, exactly how a remote API behaves
+    /// when the client dies mid-loop. Platforms with a native bulk
+    /// endpoint ([`SimPlatform`], [`MockPlatform`]) override this with an
+    /// **atomic** one-API-call implementation: either every spec is
+    /// accepted (tasks returned in spec order, ids ascending) or none is.
+    /// Publishing an empty batch is free and issues no API call.
+    ///
+    /// Task ids, payloads, and timestamps are identical to what the same
+    /// specs published one-by-one would produce; only the API-call count
+    /// differs. The batched client pipeline relies on this to keep
+    /// collected results bit-identical across batch sizes.
     ///
     /// [`publish_task`]: CrowdPlatform::publish_task
+    /// [`SimPlatform`]: crate::SimPlatform
+    /// [`MockPlatform`]: crate::MockPlatform
     fn publish_tasks(&self, project: ProjectId, specs: Vec<TaskSpec>) -> Result<Vec<Task>> {
         let mut out = Vec::with_capacity(specs.len());
         for spec in specs {
@@ -52,8 +72,50 @@ pub trait CrowdPlatform: Send + Sync {
     /// Fetches all runs collected for a task so far. Counts as one API call.
     fn fetch_runs(&self, task: TaskId) -> Result<Vec<TaskRun>>;
 
+    /// Fetches the runs of many tasks in one request, in input order.
+    ///
+    /// The default implementation is sequential [`fetch_runs`] calls (one
+    /// API call per task). Platforms with a native bulk endpoint override
+    /// this to serve the whole request as **one** API call from a single
+    /// consistent snapshot; if any listed task is unknown the whole call
+    /// fails with [`Error::UnknownTask`] and nothing is returned. Fetching
+    /// an empty batch is free and issues no API call.
+    ///
+    /// [`fetch_runs`]: CrowdPlatform::fetch_runs
+    fn fetch_runs_bulk(&self, tasks: &[TaskId]) -> Result<Vec<Vec<TaskRun>>> {
+        let mut out = Vec::with_capacity(tasks.len());
+        for &t in tasks {
+            out.push(self.fetch_runs(t)?);
+        }
+        Ok(out)
+    }
+
     /// True if the task has met its redundancy target.
     fn is_complete(&self, task: TaskId) -> Result<bool>;
+
+    /// Reports completion for many tasks in one request, in input order:
+    /// `Some(true)` complete, `Some(false)` still open, `None` unknown to
+    /// the platform (e.g. the platform restarted and lost it — callers
+    /// use this to decide what to republish).
+    ///
+    /// The default implementation is sequential [`is_complete`] calls,
+    /// mapping [`Error::UnknownTask`] to `None`. Like `is_complete`, the
+    /// in-process platforms do not count this as an API call; a real
+    /// remote adapter would serve it as **one** round-trip, which is why
+    /// the batched pipeline probes completion through this method rather
+    /// than per row.
+    ///
+    /// [`is_complete`]: CrowdPlatform::is_complete
+    fn are_complete(&self, tasks: &[TaskId]) -> Result<Vec<Option<bool>>> {
+        tasks
+            .iter()
+            .map(|&t| match self.is_complete(t) {
+                Ok(done) => Ok(Some(done)),
+                Err(Error::UnknownTask(_)) => Ok(None),
+                Err(e) => Err(e),
+            })
+            .collect()
+    }
 
     /// Makes internal progress (simulated crowd work). Returns `false` when
     /// there is nothing further to process. Not an API call.
@@ -95,18 +157,111 @@ mod tests {
     use super::*;
     use crate::mock::MockPlatform;
 
+    /// A platform that deliberately does NOT override the bulk defaults,
+    /// so the trait's sequential fallbacks stay covered.
+    struct NoBulk(MockPlatform);
+
+    impl CrowdPlatform for NoBulk {
+        fn name(&self) -> &str {
+            "no-bulk"
+        }
+        fn create_project(&self, name: &str) -> Result<ProjectId> {
+            self.0.create_project(name)
+        }
+        fn project(&self, id: ProjectId) -> Result<Project> {
+            self.0.project(id)
+        }
+        fn publish_task(&self, project: ProjectId, spec: TaskSpec) -> Result<Task> {
+            self.0.publish_task(project, spec)
+        }
+        fn task(&self, id: TaskId) -> Result<Task> {
+            self.0.task(id)
+        }
+        fn fetch_runs(&self, task: TaskId) -> Result<Vec<TaskRun>> {
+            self.0.fetch_runs(task)
+        }
+        fn is_complete(&self, task: TaskId) -> Result<bool> {
+            self.0.is_complete(task)
+        }
+        fn step(&self) -> Result<bool> {
+            self.0.step()
+        }
+        fn api_calls(&self) -> u64 {
+            self.0.api_calls()
+        }
+        fn now(&self) -> SimTime {
+            self.0.now()
+        }
+    }
+
+    fn specs(n: usize) -> Vec<TaskSpec> {
+        (0..n)
+            .map(|i| TaskSpec { payload: serde_json::json!({ "i": i }), n_assignments: 1 })
+            .collect()
+    }
+
     #[test]
     fn default_publish_tasks_is_sequential() {
-        let p = MockPlatform::echo();
+        let p = NoBulk(MockPlatform::echo());
         let proj = p.create_project("t").unwrap();
-        let specs: Vec<TaskSpec> = (0..4)
-            .map(|i| TaskSpec { payload: serde_json::json!({ "i": i }), n_assignments: 1 })
-            .collect();
-        let tasks = p.publish_tasks(proj, specs).unwrap();
+        let tasks = p.publish_tasks(proj, specs(4)).unwrap();
         assert_eq!(tasks.len(), 4);
         // ids are distinct and ascending
         for w in tasks.windows(2) {
             assert!(w[0].id < w[1].id);
+        }
+        // The fallback pays one API call per spec (plus project creation).
+        assert_eq!(p.api_calls(), 5);
+    }
+
+    #[test]
+    fn default_fetch_runs_bulk_is_sequential() {
+        let p = NoBulk(MockPlatform::echo());
+        let proj = p.create_project("t").unwrap();
+        let tasks = p.publish_tasks(proj, specs(3)).unwrap();
+        let ids: Vec<TaskId> = tasks.iter().map(|t| t.id).collect();
+        p.run_until_complete(&ids).unwrap();
+        let before = p.api_calls();
+        let runs = p.fetch_runs_bulk(&ids).unwrap();
+        assert_eq!(runs.len(), 3);
+        assert!(runs.iter().all(|r| r.len() == 1));
+        assert_eq!(p.api_calls() - before, 3, "fallback = one call per task");
+    }
+
+    #[test]
+    fn bulk_overrides_equal_sequential_but_one_call() {
+        // Same specs through the sequential fallback and the native bulk
+        // endpoint: identical tasks and runs, different API-call counts.
+        let seq = NoBulk(MockPlatform::echo());
+        let bulk = MockPlatform::echo();
+        let (ps, pb) = (seq.create_project("t").unwrap(), bulk.create_project("t").unwrap());
+        let ts = seq.publish_tasks(ps, specs(5)).unwrap();
+        let tb = bulk.publish_tasks(pb, specs(5)).unwrap();
+        assert_eq!(ts, tb, "bulk publish must register identical tasks");
+        let ids: Vec<TaskId> = ts.iter().map(|t| t.id).collect();
+        seq.run_until_complete(&ids).unwrap();
+        bulk.run_until_complete(&ids).unwrap();
+        assert_eq!(seq.fetch_runs_bulk(&ids).unwrap(), bulk.fetch_runs_bulk(&ids).unwrap());
+        // create(1) + publishes + fetches: 1+5+5 vs 1+1+1.
+        assert_eq!(seq.api_calls(), 11);
+        assert_eq!(bulk.api_calls(), 3);
+    }
+
+    #[test]
+    fn are_complete_maps_unknown_to_none() {
+        // Both the sequential default and the mock's native override must
+        // agree: Some(done) for known tasks, None for unknown ids.
+        for p in [
+            Box::new(NoBulk(MockPlatform::echo())) as Box<dyn CrowdPlatform>,
+            Box::new(MockPlatform::echo()),
+        ] {
+            let proj = p.create_project("t").unwrap();
+            let tasks = p.publish_tasks(proj, specs(2)).unwrap();
+            p.run_until_complete(&[tasks[0].id]).unwrap();
+            let status = p.are_complete(&[tasks[0].id, 999, tasks[1].id]).unwrap();
+            assert_eq!(status[0], Some(true), "{}", p.name());
+            assert_eq!(status[1], None, "{}", p.name());
+            assert!(status[2].is_some(), "{}", p.name());
         }
     }
 

@@ -20,8 +20,8 @@ pub const SIM_FIELD: &str = "_sim";
 #[serde(tag = "kind", rename_all = "snake_case")]
 pub enum AnswerModel {
     /// Choose one of `labels`; the correct one is `truth` (an index).
-    /// `difficulty` ∈ [0,1] scales the worker's effective accuracy down to
-    /// chance at 1.0.
+    /// `difficulty` ∈ \[0,1\] scales the worker's effective accuracy down
+    /// to chance at 1.0.
     Label {
         /// Index of the correct label.
         truth: usize,

@@ -162,6 +162,63 @@ impl CrowdPlatform for SimPlatform {
         Ok(task)
     }
 
+    /// Native bulk publish: one API call, one lock acquisition, atomic.
+    ///
+    /// Every spec is validated before any task is registered, so an invalid
+    /// spec rejects the whole batch. Registered tasks are identical (ids,
+    /// payloads, timestamps) to what sequential [`publish_task`] calls
+    /// would have produced — only the API-call accounting differs.
+    ///
+    /// [`publish_task`]: CrowdPlatform::publish_task
+    fn publish_tasks(&self, project: ProjectId, specs: Vec<TaskSpec>) -> Result<Vec<Task>> {
+        if specs.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.bump();
+        for spec in &specs {
+            if spec.n_assignments == 0 {
+                return Err(Error::InvalidRequest("n_assignments must be positive".into()));
+            }
+            if spec.n_assignments as usize > self.pool.len() {
+                return Err(Error::InvalidRequest(format!(
+                    "n_assignments {} exceeds pool size {}",
+                    spec.n_assignments,
+                    self.pool.len()
+                )));
+            }
+        }
+        let mut s = self.state.lock();
+        if !s.projects.contains_key(&project) {
+            return Err(Error::UnknownProject(project));
+        }
+        let mut out = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let id = s.next_task;
+            s.next_task += 1;
+            let task = Task {
+                id,
+                project_id: project,
+                payload: spec.payload,
+                n_assignments: spec.n_assignments,
+                published_at: s.clock,
+                status: TaskStatus::Open,
+            };
+            s.tasks.insert(id, task.clone());
+            s.runs.insert(id, Vec::new());
+            s.answered_by.insert(id, HashSet::new());
+            s.open.push(id);
+            out.push(task);
+        }
+        // New work: parked workers become eligible again (once per batch —
+        // the clock has not advanced, so this equals waking them per task).
+        let clock = s.clock;
+        let parked = std::mem::take(&mut s.parked);
+        for (w, at) in parked {
+            s.available.push(Reverse((at.max(clock), w)));
+        }
+        Ok(out)
+    }
+
     fn task(&self, id: TaskId) -> Result<Task> {
         self.bump();
         self.state.lock().tasks.get(&id).cloned().ok_or(Error::UnknownTask(id))
@@ -172,10 +229,34 @@ impl CrowdPlatform for SimPlatform {
         self.state.lock().runs.get(&task).cloned().ok_or(Error::UnknownTask(task))
     }
 
+    /// Native bulk fetch: one API call serving every task from a single
+    /// consistent snapshot. An unknown id fails the whole call.
+    fn fetch_runs_bulk(&self, tasks: &[TaskId]) -> Result<Vec<Vec<TaskRun>>> {
+        if tasks.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.bump();
+        let s = self.state.lock();
+        tasks
+            .iter()
+            .map(|&t| s.runs.get(&t).cloned().ok_or(Error::UnknownTask(t)))
+            .collect()
+    }
+
     fn is_complete(&self, task: TaskId) -> Result<bool> {
         let s = self.state.lock();
         let t = s.tasks.get(&task).ok_or(Error::UnknownTask(task))?;
         Ok(t.status == TaskStatus::Completed)
+    }
+
+    /// Native bulk status probe: one lock acquisition, one consistent
+    /// snapshot (a real adapter would serve this as one round-trip).
+    fn are_complete(&self, tasks: &[TaskId]) -> Result<Vec<Option<bool>>> {
+        let s = self.state.lock();
+        Ok(tasks
+            .iter()
+            .map(|t| s.tasks.get(t).map(|task| task.status == TaskStatus::Completed))
+            .collect())
     }
 
     fn step(&self) -> Result<bool> {
@@ -406,6 +487,58 @@ mod tests {
         let t = p.publish_task(proj, label_spec(0, 2)).unwrap();
         p.run_until_complete(&[t.id]).unwrap();
         assert!(p.now() > 0);
+    }
+
+    #[test]
+    fn bulk_publish_matches_sequential_bit_for_bit() {
+        // The whole batched-pipeline story rests on this: same seed, same
+        // specs — bulk-published tasks complete with identical runs.
+        let run = |bulk: bool| {
+            let p = SimPlatform::quick(5, 0.8, 77);
+            let proj = p.create_project("exp").unwrap();
+            let specs: Vec<TaskSpec> = (0..8).map(|i| label_spec(i % 2, 3)).collect();
+            let tasks = if bulk {
+                p.publish_tasks(proj, specs).unwrap()
+            } else {
+                specs.into_iter().map(|s| p.publish_task(proj, s).unwrap()).collect()
+            };
+            let ids: Vec<TaskId> = tasks.iter().map(|t| t.id).collect();
+            p.run_until_complete(&ids).unwrap();
+            (tasks, p.fetch_runs_bulk(&ids).unwrap())
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn bulk_publish_is_one_call_and_atomic() {
+        let p = SimPlatform::quick(3, 0.9, 20);
+        let proj = p.create_project("exp").unwrap(); // 1 call
+        let tasks = p
+            .publish_tasks(proj, (0..10).map(|i| label_spec(i % 2, 2)).collect())
+            .unwrap(); // 1 call
+        assert_eq!(tasks.len(), 10);
+        assert_eq!(p.api_calls(), 2);
+        // A batch with one bad spec is rejected wholesale: nothing lands.
+        let mut specs: Vec<TaskSpec> = (0..3).map(|i| label_spec(i % 2, 2)).collect();
+        specs.push(label_spec(0, 99)); // exceeds the 3-worker pool
+        assert!(p.publish_tasks(proj, specs).is_err());
+        assert_eq!(p.state.lock().tasks.len(), 10, "failed batch must leave no tasks");
+        // Empty batches are free.
+        assert!(p.publish_tasks(proj, Vec::new()).unwrap().is_empty());
+        assert!(p.fetch_runs_bulk(&[]).unwrap().is_empty());
+        assert_eq!(p.api_calls(), 3);
+    }
+
+    #[test]
+    fn bulk_fetch_unknown_id_fails_whole_call() {
+        let p = SimPlatform::quick(3, 0.9, 21);
+        let proj = p.create_project("exp").unwrap();
+        let t = p.publish_task(proj, label_spec(0, 1)).unwrap();
+        p.run_until_complete(&[t.id]).unwrap();
+        assert!(matches!(
+            p.fetch_runs_bulk(&[t.id, 999]).unwrap_err(),
+            Error::UnknownTask(999)
+        ));
     }
 
     #[test]

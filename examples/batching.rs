@@ -1,0 +1,61 @@
+//! The batched publish/collect pipeline, visible from user code.
+//!
+//! Publishes and collects 200 image-label tasks twice — once per-row
+//! (batch size 1, the historical pipeline) and once in batches of 50 —
+//! and prints the platform round-trips each pipeline issued. Results are
+//! bit-identical; only the traffic differs.
+//!
+//! ```text
+//! cargo run --example batching
+//! ```
+
+use reprowd::core::{CrowdContext, ExecutionConfig};
+use reprowd::platform::SimPlatform;
+use reprowd::prelude::*;
+use std::sync::Arc;
+
+fn labels(cc: &CrowdContext, n: usize) -> reprowd::core::Result<Vec<Value>> {
+    let images: Vec<Value> = (0..n)
+        .map(|i| {
+            val!({
+                "url": format!("img{i}.jpg"),
+                "_sim": {"kind": "label", "truth": (i % 2), "labels": ["Yes", "No"], "difficulty": 0.1}
+            })
+        })
+        .collect();
+    cc.crowddata("batching-demo")?
+        .data(images)?
+        .presenter(Presenter::image_label("Is this a cat?", &["Yes", "No"]))?
+        .publish(3)?
+        .collect()?
+        .majority_vote()?
+        .column("mv")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 200;
+    let mut columns = Vec::new();
+    for batch_size in [1usize, 50] {
+        // Same seed each round: the simulated crowd answers identically.
+        let platform = Arc::new(SimPlatform::quick(7, 0.9, 42));
+        let cc = CrowdContext::with_config(
+            platform.clone(),
+            Arc::new(MemoryStore::new()),
+            ExecutionConfig::with_batch_size(batch_size),
+        )?;
+        let mv = labels(&cc, n)?;
+        let m = cc.batch_metrics();
+        println!(
+            "batch size {batch_size:>3}: {} platform api calls \
+             ({} publish round-trips, {} fetch round-trips, {:.0} rows/call)",
+            platform.api_calls(),
+            m.publish_calls,
+            m.fetch_calls,
+            m.rows_per_publish_call(),
+        );
+        columns.push(mv);
+    }
+    assert_eq!(columns[0], columns[1], "batch size never changes the answers");
+    println!("\nidentical labels from both pipelines — batching is a pure performance knob");
+    Ok(())
+}

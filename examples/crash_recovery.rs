@@ -9,6 +9,7 @@
 //! cargo run --example crash_recovery
 //! ```
 
+use reprowd::core::ExecutionConfig;
 use reprowd::platform::{CrowdPlatform, FailingPlatform, SimPlatform};
 use reprowd::prelude::*;
 use std::sync::Arc;
@@ -35,12 +36,15 @@ fn run(cc: &reprowd::core::CrowdContext) -> reprowd::core::Result<reprowd::core:
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let inner = Arc::new(SimPlatform::quick(5, 0.95, 99));
-    // Allow 1 project + 8 publishes, then "crash".
-    let failing = Arc::new(FailingPlatform::new(Arc::clone(&inner), 9));
+    // Publish in batches of 4 rows (each batch = one platform round-trip
+    // + one atomic db write). Allow 1 project + 2 publish batches (8
+    // rows), then "crash" on the third batch's round-trip.
+    let failing = Arc::new(FailingPlatform::new(Arc::clone(&inner), 3));
     let db: Arc<dyn Backend> = Arc::new(MemoryStore::new());
-    let cc = reprowd::core::CrowdContext::new(
+    let cc = reprowd::core::CrowdContext::with_config(
         Arc::clone(&failing) as Arc<dyn CrowdPlatform>,
         Arc::clone(&db),
+        ExecutionConfig::with_batch_size(4),
     )?;
 
     println!("first run (will crash mid-publish)...");

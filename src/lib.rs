@@ -36,6 +36,17 @@
 //! assert_eq!(result.column("mv").unwrap().len(), 3);
 //! ```
 
+// Compile and run the README / ARCHITECTURE code snippets as doctests so
+// the documented quickstart and batching examples can never drift from
+// the real API.
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+mod readme_doctests {}
+
+#[doc = include_str!("../ARCHITECTURE.md")]
+#[cfg(doctest)]
+mod architecture_doctests {}
+
 pub use reprowd_core as core;
 pub use reprowd_datagen as datagen;
 pub use reprowd_operators as operators;
@@ -48,6 +59,7 @@ pub use reprowd_storage as storage;
 pub mod prelude {
     pub use reprowd_core::context::CrowdContext;
     pub use reprowd_core::crowddata::CrowdData;
+    pub use reprowd_core::exec::{BatchMetricsSnapshot, ExecutionConfig};
     pub use reprowd_core::presenter::Presenter;
     pub use reprowd_core::value::Value;
     pub use reprowd_core::val;

@@ -6,7 +6,8 @@
 //! This is the property that makes a Reprowd experiment reproducible: the
 //! database file alone carries the full crowdsourced state.
 
-use reprowd::platform::{CrowdPlatform, SimPlatform};
+use reprowd::core::ExecutionConfig;
+use reprowd::platform::{CrowdPlatform, FailingPlatform, SimPlatform};
 use reprowd::prelude::*;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -134,6 +135,86 @@ fn crash_between_publish_and_collect_republishes_nothing() {
     let calls = platform.api_calls();
     let _ = pipeline(&cc, 12);
     assert_eq!(platform.api_calls(), calls, "fully-cached rerun must be free");
+}
+
+/// Crash *between* publish batches: each batch is one platform round-trip
+/// followed by one atomic database write, so the rerun reuses every batch
+/// that landed and repays only the rows the crash swallowed.
+#[test]
+fn crash_between_publish_batches_repays_only_the_missing_batches() {
+    let path = tmp("batch-crash.rwlog");
+    let inner = Arc::new(SimPlatform::quick(6, 0.9, 55));
+    // Budget 3 = create + two bulk publishes of 4 rows each: the third
+    // batch of 10 rows in batches of 4 dies on the wire.
+    let failing = Arc::new(FailingPlatform::new(Arc::clone(&inner), 3));
+
+    {
+        let cc = reprowd::core::CrowdContext::with_config(
+            Arc::clone(&failing) as Arc<dyn CrowdPlatform>,
+            Arc::new(DiskStore::open(&path, SyncPolicy::Always).unwrap()),
+            ExecutionConfig::with_batch_size(4),
+        )
+        .unwrap();
+        match cc
+            .crowddata("recovery")
+            .unwrap()
+            .data(objects(10))
+            .unwrap()
+            .presenter(Presenter::image_label("Is this a cat?", &["Yes", "No"]))
+            .unwrap()
+            .publish(3)
+        {
+            Err(e) => assert!(e.is_injected_fault(), "the third batch must crash: {e}"),
+            Ok(_) => panic!("publish must crash on the third batch"),
+        }
+        // Context drops here: the client process "dies" mid-publish.
+    }
+
+    // The process restarts: same database file, replenished platform.
+    failing.reset_budget(u64::MAX);
+    let cc = reprowd::core::CrowdContext::with_config(
+        Arc::clone(&failing) as Arc<dyn CrowdPlatform>,
+        Arc::new(DiskStore::open(&path, SyncPolicy::Always).unwrap()),
+        ExecutionConfig::with_batch_size(4),
+    )
+    .unwrap();
+    let cd = cc
+        .crowddata("recovery")
+        .unwrap()
+        .data(objects(10))
+        .unwrap()
+        .presenter(Presenter::image_label("Is this a cat?", &["Yes", "No"]))
+        .unwrap()
+        .publish(3)
+        .unwrap()
+        .collect()
+        .unwrap()
+        .majority_vote()
+        .unwrap();
+    let s = cd.run_stats();
+    assert_eq!(s.tasks_reused, 8, "both persisted batches must be reused");
+    assert_eq!(s.tasks_published, 2, "only the crashed batch is repaid");
+    assert_eq!(s.results_collected, 10);
+    assert_eq!(cd.column("mv").unwrap().len(), 10);
+    // The crashed batch died on the wire *before* reaching the platform,
+    // so the crowd saw each of the 10 tasks exactly once — no duplicate
+    // work — and a further rerun is entirely free.
+    let calls = inner.api_calls();
+    let cd2 = cc
+        .crowddata("recovery")
+        .unwrap()
+        .data(objects(10))
+        .unwrap()
+        .presenter(Presenter::image_label("Is this a cat?", &["Yes", "No"]))
+        .unwrap()
+        .publish(3)
+        .unwrap()
+        .collect()
+        .unwrap()
+        .majority_vote()
+        .unwrap();
+    assert_eq!(inner.api_calls(), calls, "post-recovery rerun must be free");
+    assert_eq!(cd2.column("mv").unwrap(), cd.column("mv").unwrap());
 }
 
 /// Recovery also survives many crash/reopen cycles with a growing dataset:

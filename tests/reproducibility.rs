@@ -124,16 +124,20 @@ fn shared_snapshot_reproduces_on_allys_machine() {
 
 #[test]
 fn crash_at_any_budget_conserves_work() {
-    // Crash the client after k API calls for a sweep of k, then finish the
-    // run. Invariant: across crash+rerun, each row is published exactly
-    // once (no lost work, no duplicate work).
-    for budget in [1u64, 3, 5, 8, 12, 17] {
+    // Crash the client after k platform round-trips for a sweep of k, then
+    // finish the run. Invariant: across crash+rerun, each row is published
+    // exactly once (no lost work, no duplicate work). With 12 rows in
+    // batches of 3, an uninterrupted run is 1 create + 4 bulk publishes +
+    // 4 bulk fetches = 9 round-trips; every budget below that crashes
+    // between batches.
+    for budget in [1u64, 2, 3, 5, 8] {
         let inner = Arc::new(SimPlatform::quick(5, 0.9, budget));
         let failing = Arc::new(FailingPlatform::new(Arc::clone(&inner), budget));
         let db: Arc<dyn Backend> = Arc::new(MemoryStore::new());
-        let cc = reprowd::core::CrowdContext::new(
+        let cc = reprowd::core::CrowdContext::with_config(
             Arc::clone(&failing) as Arc<dyn CrowdPlatform>,
             Arc::clone(&db),
+            ExecutionConfig::with_batch_size(3),
         )
         .unwrap();
         let crashed = run_fig2(&cc, 12);
@@ -150,9 +154,11 @@ fn crash_at_any_budget_conserves_work() {
             "budget {budget}: row accounting broken"
         );
         assert_eq!(cd.column("mv").unwrap().len(), 12);
-        // Work conservation: the platform saw each task exactly once.
-        // (1 project + 12 publishes + 12 fetches = 25 API calls total.)
-        assert_eq!(inner.api_calls(), 25, "budget {budget}: duplicate platform work");
+        // Work conservation: crashes land between batches and persisted
+        // batches are never repaid, so across crash+rerun the platform
+        // still sees exactly one create, 12/3 bulk publishes, and 12/3
+        // bulk fetches — 9 round-trips, same as a crash-free run.
+        assert_eq!(inner.api_calls(), 9, "budget {budget}: duplicate platform work");
     }
 }
 
