@@ -1,0 +1,192 @@
+//! E13 — sharded-simulator throughput: a shard-count sweep over a large
+//! crowd (10^5 tasks, 10^4 workers, redundancy 3) measuring events/sec.
+//!
+//! What it pins, beyond the table:
+//!
+//! * **Determinism** — every configuration is run twice; identical
+//!   `(seed, shard_count)` must produce bit-identical runs.
+//! * **No quadratic hot path** — single-shard events/sec must not collapse
+//!   as the open-task list grows 10× (the pre-shard engine cloned and
+//!   scanned the whole open list per event, so its per-event cost scaled
+//!   with n; the indexed queue + per-worker cursors make it O(1)).
+//! * **Parallel speedup** — on hosts with ≥ 8 cores, 8 shards must clear
+//!   ≥ 4× the events/sec of 1 shard (skipped elsewhere: shards can't beat
+//!   physics on a single core).
+//!
+//! Writes `BENCH_E13.json` at the workspace root so the perf trajectory is
+//! tracked across PRs. Smoke mode (`REPROWD_E13_SMOKE=1`, used by CI)
+//! shrinks the world and skips nothing else.
+
+use reprowd_bench::{banner, table, timed};
+use reprowd_platform::{AnswerModel, CrowdPlatform, SimPlatform, TaskId, TaskSpec};
+
+struct Run {
+    shards: usize,
+    tasks: usize,
+    workers: usize,
+    wall_ms: f64,
+    events: u64,
+    events_per_sec: f64,
+    digest: u64,
+}
+
+fn specs(n: usize, redundancy: u32) -> Vec<TaskSpec> {
+    (0..n)
+        .map(|i| {
+            let model = AnswerModel::Label {
+                truth: i % 2,
+                labels: vec!["Yes".into(), "No".into()],
+                difficulty: 0.1,
+            };
+            TaskSpec {
+                payload: model.embed(serde_json::json!({ "url": format!("img{i}.jpg") })),
+                n_assignments: redundancy,
+            }
+        })
+        .collect()
+}
+
+/// FNV-1a over every run of every task — a stable fingerprint of the whole
+/// observable outcome.
+fn digest(p: &SimPlatform, ids: &[TaskId]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for runs in p.fetch_runs_bulk(ids).expect("runs") {
+        for r in runs {
+            for b in serde_json::to_string(&r).expect("serializes").bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+            }
+        }
+    }
+    h
+}
+
+fn drive(tasks: usize, workers: usize, shards: usize, seed: u64) -> Run {
+    let p = SimPlatform::sharded(workers, 0.9, seed, shards);
+    let proj = p.create_project("e13").expect("project");
+    let ids: Vec<TaskId> = p
+        .publish_tasks(proj, specs(tasks, 3))
+        .expect("publish")
+        .iter()
+        .map(|t| t.id)
+        .collect();
+    let (_, wall_ms) = timed(|| p.run_until_complete(&ids).expect("complete"));
+    let events = p.events();
+    Run {
+        shards,
+        tasks,
+        workers,
+        wall_ms,
+        events,
+        events_per_sec: events as f64 / (wall_ms / 1e3),
+        digest: digest(&p, &ids),
+    }
+}
+
+fn write_json(path: &str, mode: &str, cores: usize, rows: &[Run]) {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"E13 sharded simulator throughput\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(&format!("  \"host_parallelism\": {cores},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"tasks\": {}, \"workers\": {}, \
+             \"wall_ms\": {:.1}, \"events\": {}, \"events_per_sec\": {:.0}}}{}\n",
+            r.shards,
+            r.tasks,
+            r.workers,
+            r.wall_ms,
+            r.events,
+            r.events_per_sec,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write BENCH_E13.json");
+}
+
+fn main() {
+    let smoke = std::env::var_os("REPROWD_E13_SMOKE").is_some();
+    let (tasks, workers, sweep): (usize, usize, &[usize]) = if smoke {
+        (2_000, 200, &[1, 4])
+    } else {
+        (100_000, 10_000, &[1, 2, 4, 8])
+    };
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    banner(
+        "E13",
+        &format!(
+            "Sharded simulator throughput (n={tasks} tasks, {workers} workers, \
+             shard sweep, {cores}-core host{})",
+            if smoke { ", SMOKE" } else { "" }
+        ),
+        "ROADMAP 'Sharded sim platform' — all cores, determinism per (seed, shard)",
+    );
+
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for &shards in sweep {
+        let run = drive(tasks, workers, shards, 42);
+        let rerun = drive(tasks, workers, shards, 42);
+        assert_eq!(
+            run.digest, rerun.digest,
+            "shards={shards}: identical (seed, shard_count) must be bit-identical"
+        );
+        assert_eq!(run.events, rerun.events);
+        rows.push(vec![
+            shards.to_string(),
+            format!("{:.0}", run.wall_ms),
+            run.events.to_string(),
+            format!("{:.0}", run.events_per_sec),
+            format!("{:.2}x", run.events_per_sec / results.first().map_or(run.events_per_sec, |r: &Run| r.events_per_sec)),
+            format!("{:#018x}", run.digest),
+        ]);
+        results.push(run);
+    }
+    table(
+        &["shards", "wall ms", "events", "events/sec", "vs 1 shard", "digest"],
+        &rows,
+    );
+
+    // Quadratic detector: grow the single-shard world 10× and demand
+    // events/sec stays within 3× — an O(open) per-event engine degrades
+    // ~10× here instead.
+    let small = drive(tasks / 10, workers, 1, 42);
+    let big = &results[0];
+    let ratio = small.events_per_sec / big.events_per_sec;
+    println!(
+        "\nsingle-shard scaling: {:.0} ev/s at n={} vs {:.0} ev/s at n={} ({ratio:.2}x)",
+        small.events_per_sec, small.tasks, big.events_per_sec, big.tasks
+    );
+    assert!(
+        ratio < 3.0,
+        "single-shard throughput collapsed {ratio:.1}x when the world grew 10x — \
+         the per-event hot path is scanning the open-task list again"
+    );
+
+    if let Some(r8) = results.iter().find(|r| r.shards == 8) {
+        let speedup = r8.events_per_sec / results[0].events_per_sec;
+        if cores >= 8 {
+            assert!(
+                speedup >= 4.0,
+                "8 shards on an {cores}-core host must clear 4x one shard (got {speedup:.2}x)"
+            );
+            println!("PASS: {speedup:.2}x at 8 shards (>= 4x required on {cores} cores)");
+        } else {
+            println!(
+                "NOTE: {speedup:.2}x at 8 shards; 4x gate skipped on a {cores}-core host"
+            );
+        }
+    }
+
+    if smoke {
+        println!("\nPASS (smoke): bit-identical reruns; no O(n) hot path. JSON not rewritten.");
+    } else {
+        let json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_E13.json");
+        write_json(json_path, "full", cores, &results);
+        println!(
+            "\nPASS: bit-identical reruns at every shard count; no O(n) hot path; \
+             results recorded to BENCH_E13.json"
+        );
+    }
+}

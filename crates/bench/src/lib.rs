@@ -69,7 +69,7 @@ pub fn sim_context(n_workers: usize, ability: f64, seed: u64) -> (CrowdContext, 
 
 /// A context over an explicit worker pool.
 pub fn pool_context(pool: WorkerPool, seed: u64) -> (CrowdContext, Arc<SimPlatform>) {
-    let platform = Arc::new(SimPlatform::new(SimConfig { pool, seed }));
+    let platform = Arc::new(SimPlatform::new(SimConfig::new(pool, seed)));
     let cc = CrowdContext::new(
         Arc::clone(&platform) as Arc<dyn CrowdPlatform>,
         Arc::new(MemoryStore::new()),

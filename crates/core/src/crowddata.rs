@@ -370,6 +370,7 @@ impl CrowdData {
             let ids: Vec<TaskId> = chunk.iter().map(|&(_, _, id, _)| id).collect();
             let statuses = self.ctx.platform().are_complete(&ids)?;
             check_bulk_len("are_complete", statuses.len(), chunk.len())?;
+            self.ctx.exec().metrics().record_probe(chunk.len() as u64);
             for ((i, key, id, n), status) in chunk.iter().cloned().zip(statuses) {
                 match status {
                     Some(_) => pending.push((i, id)),

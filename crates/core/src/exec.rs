@@ -34,24 +34,44 @@ pub struct ExecutionConfig {
     /// Rows per platform round-trip in `publish`/`collect`. Must be ≥ 1;
     /// `1` reproduces the per-row pipeline bit-for-bit.
     pub batch_size: usize,
+    /// Shard count for contexts that build their own simulated platform
+    /// (e.g. [`CrowdContext::in_memory_sim_with`]); `None` means the
+    /// platform default (one shard). Must be ≥ 1 when set. Ignored when
+    /// the caller supplies a ready-made platform. Like the simulator
+    /// itself, the shard count is part of the reproducibility key: results
+    /// are bit-identical per `(seed, shard_count)`, and different shard
+    /// counts are different (but equally deterministic) crowds.
+    ///
+    /// [`CrowdContext::in_memory_sim_with`]: crate::CrowdContext::in_memory_sim_with
+    pub sim_shards: Option<usize>,
 }
 
 impl Default for ExecutionConfig {
     fn default() -> Self {
-        ExecutionConfig { batch_size: DEFAULT_BATCH_SIZE }
+        ExecutionConfig { batch_size: DEFAULT_BATCH_SIZE, sim_shards: None }
     }
 }
 
 impl ExecutionConfig {
     /// A config with the given batch size.
     pub fn with_batch_size(batch_size: usize) -> Self {
-        ExecutionConfig { batch_size }
+        ExecutionConfig { batch_size, ..ExecutionConfig::default() }
     }
 
-    /// Rejects invalid configurations (currently: `batch_size == 0`).
+    /// Sets the simulated platform's shard count (builder style).
+    pub fn with_sim_shards(mut self, shards: usize) -> Self {
+        self.sim_shards = Some(shards);
+        self
+    }
+
+    /// Rejects invalid configurations (`batch_size == 0`, or an explicit
+    /// shard count of 0).
     pub fn validate(&self) -> Result<()> {
         if self.batch_size == 0 {
             return Err(Error::State("batch_size must be at least 1".into()));
+        }
+        if self.sim_shards == Some(0) {
+            return Err(Error::State("sim_shards must be at least 1 when set".into()));
         }
         Ok(())
     }
@@ -71,6 +91,8 @@ pub struct BatchMetrics {
     publish_rows: AtomicU64,
     fetch_calls: AtomicU64,
     fetch_rows: AtomicU64,
+    probe_calls: AtomicU64,
+    probe_rows: AtomicU64,
 }
 
 impl BatchMetrics {
@@ -86,6 +108,15 @@ impl BatchMetrics {
         self.fetch_rows.fetch_add(rows, Ordering::Relaxed);
     }
 
+    /// Records one bulk completion probe covering `rows` tasks. Probes are
+    /// free on the platform's `api_calls` meter (they request no crowd
+    /// work), so this ledger is the only place a remote adapter's polling
+    /// round-trips would show up.
+    pub(crate) fn record_probe(&self, rows: u64) {
+        self.probe_calls.fetch_add(1, Ordering::Relaxed);
+        self.probe_rows.fetch_add(rows, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of the counters.
     pub fn snapshot(&self) -> BatchMetricsSnapshot {
         BatchMetricsSnapshot {
@@ -93,6 +124,8 @@ impl BatchMetrics {
             publish_rows: self.publish_rows.load(Ordering::Relaxed),
             fetch_calls: self.fetch_calls.load(Ordering::Relaxed),
             fetch_rows: self.fetch_rows.load(Ordering::Relaxed),
+            probe_calls: self.probe_calls.load(Ordering::Relaxed),
+            probe_rows: self.probe_rows.load(Ordering::Relaxed),
         }
     }
 }
@@ -109,11 +142,21 @@ pub struct BatchMetricsSnapshot {
     pub fetch_calls: u64,
     /// Result rows carried by those fetch round-trips.
     pub fetch_rows: u64,
+    /// Bulk completion probes issued (`are_complete`, one per batch).
+    /// Free on the platform's `api_calls` meter — see
+    /// [`is_complete`](reprowd_platform::CrowdPlatform::is_complete) — but
+    /// a wall-clock round-trip on a remote adapter, so metered here.
+    pub probe_calls: u64,
+    /// Task rows covered by those probes.
+    pub probe_rows: u64,
 }
 
 impl BatchMetricsSnapshot {
-    /// Total batched round-trips (publish + fetch). Project creation is
-    /// accounted by the platform's own [`api_calls`] counter, not here.
+    /// Total batched round-trips that *request crowd work* (publish +
+    /// fetch; completion probes are metered separately as
+    /// [`probe_calls`](BatchMetricsSnapshot::probe_calls)). Project
+    /// creation is accounted by the platform's own [`api_calls`] counter,
+    /// not here.
     ///
     /// [`api_calls`]: reprowd_platform::CrowdPlatform::api_calls
     pub fn round_trips(&self) -> u64 {
@@ -145,6 +188,8 @@ impl BatchMetricsSnapshot {
             publish_rows: self.publish_rows - earlier.publish_rows,
             fetch_calls: self.fetch_calls - earlier.fetch_calls,
             fetch_rows: self.fetch_rows - earlier.fetch_rows,
+            probe_calls: self.probe_calls - earlier.probe_calls,
+            probe_rows: self.probe_rows - earlier.probe_rows,
         }
     }
 }
@@ -170,9 +215,10 @@ impl ExecutionContext {
         Ok(ExecutionContext { config, metrics: Arc::default() })
     }
 
-    /// A copy with a different batch size, sharing this context's metrics.
+    /// A copy with a different batch size (every other policy knob is
+    /// kept), sharing this context's metrics.
     pub fn retuned(&self, batch_size: usize) -> Result<Self> {
-        let config = ExecutionConfig { batch_size };
+        let config = ExecutionConfig { batch_size, ..self.config.clone() };
         config.validate()?;
         Ok(ExecutionContext { config, metrics: Arc::clone(&self.metrics) })
     }
@@ -202,6 +248,38 @@ mod tests {
         assert!(ExecutionContext::new(ExecutionConfig::with_batch_size(0)).is_err());
         assert!(ExecutionContext::default().retuned(0).is_err());
         assert!(ExecutionConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn zero_sim_shards_rejected_but_unset_is_fine() {
+        assert!(ExecutionConfig::default().with_sim_shards(0).validate().is_err());
+        assert!(ExecutionConfig::default().with_sim_shards(4).validate().is_ok());
+        assert_eq!(ExecutionConfig::default().sim_shards, None);
+    }
+
+    #[test]
+    fn retuning_preserves_other_knobs() {
+        let ec = ExecutionContext::new(
+            ExecutionConfig::with_batch_size(7).with_sim_shards(3),
+        )
+        .unwrap();
+        let re = ec.retuned(2).unwrap();
+        assert_eq!(re.batch_size(), 2);
+        assert_eq!(re.config().sim_shards, Some(3));
+    }
+
+    #[test]
+    fn probe_metrics_are_separate_from_round_trips() {
+        let m = BatchMetrics::default();
+        m.record_publish(10);
+        m.record_probe(10);
+        m.record_probe(10);
+        m.record_fetch(10);
+        let snap = m.snapshot();
+        assert_eq!(snap.probe_calls, 2);
+        assert_eq!(snap.probe_rows, 20);
+        // Probes never inflate the crowd-work round-trip count.
+        assert_eq!(snap.round_trips(), 2);
     }
 
     #[test]

@@ -22,6 +22,22 @@
 use crate::error::{Error, Result};
 use crate::types::{Project, ProjectId, SimTime, Task, TaskId, TaskRun, TaskSpec};
 
+/// Counts how many of `tasks` are still open given an
+/// [`are_complete`](CrowdPlatform::are_complete) status vector, failing
+/// with [`Error::UnknownTask`] on ids the platform does not know. Shared
+/// by the trait's default driver and platform-specific overrides.
+pub(crate) fn still_open(tasks: &[TaskId], status: &[Option<bool>]) -> Result<usize> {
+    let mut open = 0;
+    for (i, st) in status.iter().enumerate() {
+        match st {
+            None => return Err(Error::UnknownTask(tasks[i])),
+            Some(false) => open += 1,
+            Some(true) => {}
+        }
+    }
+    Ok(open)
+}
+
 /// A crowdsourcing platform: projects, tasks, task runs.
 ///
 /// All methods take `&self`; implementations are internally synchronized so
@@ -91,6 +107,18 @@ pub trait CrowdPlatform: Send + Sync {
     }
 
     /// True if the task has met its redundancy target.
+    ///
+    /// **Status probes are free**: neither `is_complete` nor
+    /// [`are_complete`](CrowdPlatform::are_complete) counts toward
+    /// [`api_calls`](CrowdPlatform::api_calls) on any in-process platform
+    /// ([`FailingPlatform`](crate::FailingPlatform) does not charge its
+    /// budget for them either). `api_calls` measures the paper's sharable
+    /// property — *crowd work requested* — and a poll requests none. A
+    /// real remote adapter still pays wall-clock round-trips to poll, which
+    /// is why the batched pipeline probes per batch and meters those
+    /// round-trips in its own client-side ledger
+    /// (`ExecutionContext::metrics`), never here. Pinned by the
+    /// `status_probes_are_free_on_every_platform` test.
     fn is_complete(&self, task: TaskId) -> Result<bool>;
 
     /// Reports completion for many tasks in one request, in input order:
@@ -122,26 +150,34 @@ pub trait CrowdPlatform: Send + Sync {
     fn step(&self) -> Result<bool>;
 
     /// Drives [`step`](CrowdPlatform::step) until every listed task is
-    /// complete. Errors with [`Error::Starved`] if progress stalls first.
+    /// complete. Errors with [`Error::Starved`] if the platform goes
+    /// quiescent with listed tasks still open, and with
+    /// [`Error::UnknownTask`] if a listed task does not exist.
+    ///
+    /// The default drains to quiescence — one completion probe, then
+    /// `step` until it returns `false`, then one final probe — instead of
+    /// re-probing every listed task per step, which made driving n tasks
+    /// O(n·steps). Unlike that historical per-step loop, draining may
+    /// progress *unlisted* open tasks past the point where the listed ones
+    /// complete; this never changes already-completed tasks (their runs
+    /// are immutable), only how far still-open ones have advanced when the
+    /// call returns. Platforms with internal parallelism override this
+    /// with a faster driver ([`SimPlatform`] drains each of its shards on
+    /// its own thread).
+    ///
+    /// [`SimPlatform`]: crate::SimPlatform
     fn run_until_complete(&self, tasks: &[TaskId]) -> Result<()> {
-        loop {
-            let mut all_done = true;
-            for &t in tasks {
-                if !self.is_complete(t)? {
-                    all_done = false;
-                    break;
-                }
-            }
-            if all_done {
-                return Ok(());
-            }
-            if !self.step()? {
-                return Err(Error::Starved(format!(
-                    "no further progress possible with {} tasks still open",
-                    tasks.len()
-                )));
-            }
+        if still_open(tasks, &self.are_complete(tasks)?)? == 0 {
+            return Ok(());
         }
+        while self.step()? {}
+        let open = still_open(tasks, &self.are_complete(tasks)?)?;
+        if open > 0 {
+            return Err(Error::Starved(format!(
+                "no further progress possible with {open} tasks still open"
+            )));
+        }
+        Ok(())
     }
 
     /// Number of API calls served so far (project creation, publishes,
@@ -263,6 +299,49 @@ mod tests {
             assert_eq!(status[1], None, "{}", p.name());
             assert!(status[2].is_some(), "{}", p.name());
         }
+    }
+
+    #[test]
+    fn status_probes_are_free_on_every_platform() {
+        // The one probe-accounting semantics, pinned across every
+        // in-process platform: is_complete/are_complete never count toward
+        // api_calls (and never charge FailingPlatform's budget).
+        use crate::failing::FailingPlatform;
+        use crate::SimPlatform;
+        use std::sync::Arc;
+
+        let probe_storm = |p: &dyn CrowdPlatform| {
+            let proj = p.create_project("t").unwrap();
+            let tasks = p.publish_tasks(proj, specs(3)).unwrap();
+            let ids: Vec<TaskId> = tasks.iter().map(|t| t.id).collect();
+            p.run_until_complete(&ids).unwrap();
+            let before = p.api_calls();
+            for &t in &ids {
+                assert_eq!(p.is_complete(t), Ok(true));
+            }
+            let _ = p.are_complete(&ids).unwrap();
+            assert_eq!(p.api_calls(), before, "{}: probes must be free", p.name());
+        };
+        probe_storm(&MockPlatform::echo());
+        probe_storm(&SimPlatform::quick(3, 0.9, 1));
+        probe_storm(&SimPlatform::sharded(8, 0.9, 1, 2));
+
+        let failing = FailingPlatform::new(Arc::new(MockPlatform::echo()), 100);
+        probe_storm(&failing);
+        // run_until_complete's own probes are free too: only create (1)
+        // and the bulk publish (1) were charged.
+        assert_eq!(failing.remaining(), 98);
+    }
+
+    #[test]
+    fn run_until_complete_unknown_task_errors() {
+        let p = MockPlatform::echo();
+        let proj = p.create_project("t").unwrap();
+        let t = p.publish_tasks(proj, specs(1)).unwrap().remove(0);
+        assert_eq!(
+            p.run_until_complete(&[t.id, 404]).unwrap_err(),
+            Error::UnknownTask(404)
+        );
     }
 
     #[test]

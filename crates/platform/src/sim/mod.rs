@@ -1,6 +1,9 @@
-//! The simulated crowd: worker models, answer models, and the event loop.
+//! The simulated crowd: worker models, answer models, and the sharded
+//! event loop ([`engine`] drives one independent `shard::Shard` per
+//! hash partition of the task/worker id space).
 
 pub mod answer;
 pub mod engine;
 pub mod latency;
+pub(crate) mod shard;
 pub mod worker;

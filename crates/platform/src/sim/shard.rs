@@ -1,0 +1,270 @@
+//! One shard of the sharded simulator: a self-contained discrete-event
+//! loop over the tasks and workers hashed to it.
+//!
+//! A shard owns *all* state its events touch — tasks, runs, the open-task
+//! queue, the worker availability heap, and its own RNG — so shards never
+//! synchronize with each other and can be driven from different threads
+//! while staying bit-for-bit deterministic per `(seed, shard_count)`.
+//!
+//! The matching hot path is O(1) amortized per event:
+//!
+//! * `open` is an **append-only queue with tombstones**: completing a task
+//!   nulls its slot instead of shifting the queue (the pre-shard engine's
+//!   `open.retain` was O(open) per completion).
+//! * `open_head` lazily skips the tombstoned prefix, so the global "oldest
+//!   open task" is found without scanning.
+//! * each worker keeps a **monotone cursor** into `open`: every slot before
+//!   it is *permanently* ineligible for that worker (tombstoned, or already
+//!   answered by them), so an eligibility scan resumes where it left off
+//!   instead of rescanning a clone of the whole open list per event.
+//! * worker profiles and per-task answer models are indexed up front
+//!   (`HashMap` lookups instead of the old O(pool) linear scan and the old
+//!   per-event payload parse).
+
+use crate::error::{Error, Result};
+use crate::sim::answer::AnswerModel;
+use crate::sim::latency::lognormal;
+use crate::sim::worker::WorkerProfile;
+use crate::types::{SimTime, Task, TaskId, TaskRun, TaskStatus, WorkerId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// One independent slice of the simulated world.
+pub(crate) struct Shard {
+    /// Tasks owned by this shard, by id.
+    pub(crate) tasks: HashMap<TaskId, Task>,
+    /// Runs collected per task.
+    pub(crate) runs: HashMap<TaskId, Vec<TaskRun>>,
+    /// Workers who already *submitted* a run for the task (the platform
+    /// invariant: at most one run per worker per task).
+    answered_by: HashMap<TaskId, HashSet<WorkerId>>,
+    /// Answer model parsed once at publish time (the pre-shard engine
+    /// re-extracted it from the payload on every event).
+    models: HashMap<TaskId, Option<AnswerModel>>,
+    /// Open tasks in publish order; completion tombstones the slot.
+    open: Vec<Option<TaskId>>,
+    /// First possibly-live slot of `open`, advanced lazily past tombstones.
+    open_head: usize,
+    /// Live (non-tombstoned) entries in `open`.
+    open_live: usize,
+    /// Workers ready to pick up tasks, keyed by availability time.
+    available: BinaryHeap<Reverse<(SimTime, WorkerId)>>,
+    /// Workers parked because no eligible task existed when they came up.
+    parked: Vec<(WorkerId, SimTime)>,
+    /// Per-worker resume point into `open`; monotone, never rewinds.
+    cursor: HashMap<WorkerId, usize>,
+    /// This shard's slice of the roster, indexed for O(1) profile lookup.
+    profiles: HashMap<WorkerId, WorkerProfile>,
+    /// The shard's virtual clock (simulated milliseconds).
+    pub(crate) clock: SimTime,
+    rng: StdRng,
+    /// Events processed (submitted runs *and* abandonments).
+    pub(crate) events: u64,
+}
+
+impl Shard {
+    /// Builds a shard over `workers` (in roster order — their position is
+    /// the initial availability stagger, exactly like the pre-shard
+    /// engine's pool order) with the given derived seed.
+    pub(crate) fn new(workers: Vec<WorkerProfile>, shard_seed: u64) -> Self {
+        let mut available = BinaryHeap::with_capacity(workers.len());
+        let mut profiles = HashMap::with_capacity(workers.len());
+        for (i, w) in workers.into_iter().enumerate() {
+            // Tiny stagger so initial pickup order interleaves naturally.
+            available.push(Reverse((i as SimTime, w.id)));
+            profiles.insert(w.id, w);
+        }
+        Shard {
+            tasks: HashMap::new(),
+            runs: HashMap::new(),
+            answered_by: HashMap::new(),
+            models: HashMap::new(),
+            open: Vec::new(),
+            open_head: 0,
+            open_live: 0,
+            available,
+            parked: Vec::new(),
+            cursor: HashMap::new(),
+            profiles,
+            clock: 0,
+            rng: StdRng::seed_from_u64(shard_seed),
+            events: 0,
+        }
+    }
+
+    /// Registers a published task (the engine allocated its id and stamped
+    /// `published_at` with this shard's clock).
+    pub(crate) fn insert_task(&mut self, task: Task) {
+        let id = task.id;
+        self.models.insert(id, AnswerModel::extract(&task.payload));
+        self.tasks.insert(id, task);
+        self.runs.insert(id, Vec::new());
+        self.answered_by.insert(id, HashSet::new());
+        self.open.push(Some(id));
+        self.open_live += 1;
+    }
+
+    /// Re-queues every parked worker (new work may have arrived, or a
+    /// completion may have freed up an eligible slot).
+    pub(crate) fn wake_parked(&mut self) {
+        let clock = self.clock;
+        for (w, at) in std::mem::take(&mut self.parked) {
+            self.available.push(Reverse((at.max(clock), w)));
+        }
+    }
+
+    /// Processes one event: pops the earliest-available worker, matches
+    /// them with the oldest open task they have not answered, and samples
+    /// their think-time and answer (or abandonment). Returns `false` when
+    /// no further progress is possible on this shard.
+    pub(crate) fn step(&mut self) -> Result<bool> {
+        if self.open_live == 0 {
+            return Ok(false);
+        }
+        // Pop workers until one can be matched with an open task.
+        while let Some(Reverse((avail_at, worker_id))) = self.available.pop() {
+            // Advance the global head past the tombstoned prefix (paid once
+            // per completed task over the shard's whole lifetime).
+            while self.open.get(self.open_head) == Some(&None) {
+                self.open_head += 1;
+            }
+            // Resume this worker's scan where it permanently left off.
+            let mut pos =
+                self.cursor.get(&worker_id).copied().unwrap_or(0).max(self.open_head);
+            let mut found = None;
+            while pos < self.open.len() {
+                match self.open[pos] {
+                    // Tombstone: permanently ineligible for everyone.
+                    None => pos += 1,
+                    Some(tid) => {
+                        if self.answered_by[&tid].contains(&worker_id) {
+                            // Answered tasks never reopen: skip permanently.
+                            pos += 1;
+                        } else {
+                            found = Some((pos, tid));
+                            break;
+                        }
+                    }
+                }
+            }
+            // `pos` only ever advanced past permanently-ineligible slots
+            // (or stopped on the candidate), so the cursor stays sound even
+            // if the worker abandons the candidate below.
+            self.cursor.insert(worker_id, pos);
+            let Some((slot, task_id)) = found else {
+                self.parked.push((worker_id, avail_at));
+                continue;
+            };
+
+            self.clock = self.clock.max(avail_at);
+            let assigned_at = self.clock;
+            let profile = &self.profiles[&worker_id];
+            let think_ms =
+                lognormal(&mut self.rng, profile.speed_median_ms.max(1.0), profile.speed_sigma)
+                    .ceil()
+                    .max(1.0) as SimTime;
+            let submitted_at = assigned_at + think_ms;
+
+            let abandons = self.rng.gen::<f64>() < profile.abandon_p;
+            self.events += 1;
+            if abandons {
+                // The worker wastes the time but submits nothing; the slot
+                // stays open and the worker may retry later.
+                self.available.push(Reverse((submitted_at, worker_id)));
+                return Ok(true);
+            }
+
+            let task = self.tasks.get(&task_id).ok_or(Error::UnknownTask(task_id))?;
+            let n_assignments = task.n_assignments;
+            let answer = match &self.models[&task_id] {
+                Some(model) => model.sample(profile, &mut self.rng),
+                // Payloads without a model get an opaque echo answer, so
+                // plumbing tests don't need to construct models.
+                None => serde_json::json!({ "echo": task.payload }),
+            };
+            let runs = self.runs.get_mut(&task_id).expect("runs exist");
+            runs.push(TaskRun { task_id, worker_id, answer, assigned_at, submitted_at });
+            let done = runs.len() as u32 >= n_assignments;
+            self.answered_by.get_mut(&task_id).expect("set exists").insert(worker_id);
+
+            if done {
+                self.tasks.get_mut(&task_id).expect("task exists").status =
+                    TaskStatus::Completed;
+                self.open[slot] = None;
+                self.open_live -= 1;
+                // Task list changed: parked workers may now have work.
+                self.wake_parked();
+            }
+            self.available.push(Reverse((submitted_at, worker_id)));
+            return Ok(true);
+        }
+        // Every worker is parked: redundancy cannot be met.
+        Ok(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TaskStatus;
+
+    fn task(id: TaskId, n: u32) -> Task {
+        Task {
+            id,
+            project_id: 1,
+            payload: serde_json::json!({ "raw": id }),
+            n_assignments: n,
+            published_at: 0,
+            status: TaskStatus::Open,
+        }
+    }
+
+    fn shard(n_workers: u64) -> Shard {
+        let workers =
+            (1..=n_workers).map(|id| WorkerProfile::with_ability(id, 1.0)).collect();
+        Shard::new(workers, 7)
+    }
+
+    #[test]
+    fn completion_tombstones_instead_of_shifting() {
+        let mut s = shard(3);
+        for id in 1..=3 {
+            s.insert_task(task(id, 1));
+        }
+        assert_eq!(s.open_live, 3);
+        while s.step().unwrap() {}
+        assert_eq!(s.open_live, 0);
+        // The queue itself never shrank — completion is O(1).
+        assert_eq!(s.open.len(), 3);
+        assert!(s.open.iter().all(Option::is_none));
+        assert!(s.tasks.values().all(|t| t.status == TaskStatus::Completed));
+    }
+
+    #[test]
+    fn cursors_never_rewind() {
+        let mut s = shard(2);
+        for id in 1..=6 {
+            s.insert_task(task(id, 2));
+        }
+        let mut last: HashMap<WorkerId, usize> = HashMap::new();
+        while s.step().unwrap() {
+            for (&w, &c) in &s.cursor {
+                assert!(c >= last.get(&w).copied().unwrap_or(0), "cursor rewound");
+                last.insert(w, c);
+            }
+        }
+        assert_eq!(s.open_live, 0);
+    }
+
+    #[test]
+    fn empty_shard_makes_no_progress() {
+        let mut s = shard(0);
+        assert!(!s.step().unwrap());
+        s.insert_task(task(1, 1));
+        // A task but no workers: the shard stalls rather than panics.
+        assert!(!s.step().unwrap());
+        assert_eq!(s.events, 0);
+    }
+}

@@ -31,10 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let platform = Arc::new(reprowd::platform::SimPlatform::new(
-        reprowd::platform::SimConfig {
-            pool: reprowd::platform::WorkerPool::mixture(3, 5, 1, 9),
-            seed: 9,
-        },
+        reprowd::platform::SimConfig::new(
+            reprowd::platform::WorkerPool::mixture(3, 5, 1, 9),
+            9,
+        ),
     ));
     let cc = reprowd::core::CrowdContext::new(
         platform,

@@ -63,7 +63,11 @@ fn batch_larger_than_task_count_is_one_round_trip_each_way() {
             publish_calls: 1,
             publish_rows: 10,
             fetch_calls: 1,
-            fetch_rows: 10
+            fetch_rows: 10,
+            // The collect status pass probes completion once per batch;
+            // probes are free platform-side but metered here.
+            probe_calls: 1,
+            probe_rows: 10
         }
     );
     assert_eq!(m.rows_per_publish_call(), 10.0);

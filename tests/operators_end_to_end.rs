@@ -146,7 +146,7 @@ fn ds_beats_mv_on_biased_worker_pool_end_to_end() {
     // Pool: 2 good workers + 3 yes-biased workers; DS should learn the bias
     // from raw task runs collected through the full pipeline.
     let pool = WorkerPool::uniform(2, 0.92).with_biased(3, 0, 0.8, 0.75);
-    let platform = SimPlatform::new(SimConfig { pool, seed: 106 });
+    let platform = SimPlatform::new(SimConfig::new(pool, 106));
     let cc = ctx(platform);
 
     let n = 120;
@@ -196,7 +196,7 @@ fn ds_beats_mv_on_biased_worker_pool_end_to_end() {
 fn crowd_label_with_gold_calibration_weights() {
     // Calibrate workers on gold items, then weighted-vote the rest.
     let pool = WorkerPool::uniform(2, 0.95).with_biased(2, 0, 0.9, 0.6);
-    let cc = ctx(SimPlatform::new(SimConfig { pool, seed: 107 }));
+    let cc = ctx(SimPlatform::new(SimConfig::new(pool, 107)));
     let n = 60;
     let items: Vec<Value> = (0..n)
         .map(|i| {
