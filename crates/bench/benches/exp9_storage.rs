@@ -10,7 +10,9 @@ fn tmp(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("reprowd-exp9-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let p = dir.join(name);
-    let _ = std::fs::remove_file(&p);
+    // A database is a file family (base + manifest + segments); clear it
+    // all so reruns measure a genuinely fresh store.
+    DiskStore::destroy(&p).unwrap();
     p
 }
 

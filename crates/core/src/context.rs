@@ -99,8 +99,25 @@ impl CrowdContext {
         db_path: impl AsRef<Path>,
         sync: SyncPolicy,
     ) -> Result<Self> {
-        let backend: Arc<dyn Backend> = Arc::new(DiskStore::open(db_path, sync)?);
-        CrowdContext::new(platform, backend)
+        CrowdContext::on_disk_with(platform, db_path, sync, ExecutionConfig::default())
+    }
+
+    /// Like [`on_disk`](CrowdContext::on_disk), but honoring the whole
+    /// [`ExecutionConfig`] — including
+    /// [`segment_policy`](ExecutionConfig::segment_policy), which sizes
+    /// the database's log segments and sets its auto-compaction
+    /// threshold. Both batching and segmentation are pure performance
+    /// knobs: results are bit-identical under every setting.
+    pub fn on_disk_with(
+        platform: Arc<dyn CrowdPlatform>,
+        db_path: impl AsRef<Path>,
+        sync: SyncPolicy,
+        config: ExecutionConfig,
+    ) -> Result<Self> {
+        config.validate()?;
+        let backend: Arc<dyn Backend> =
+            Arc::new(DiskStore::open_with(db_path, sync, config.segment_policy)?);
+        CrowdContext::with_config(platform, backend, config)
     }
 
     /// Starts (or resumes) the experiment called `name`.
@@ -246,6 +263,49 @@ mod tests {
         // An explicit zero shard count is rejected up front.
         let bad = ExecutionConfig::default().with_sim_shards(0);
         assert!(CrowdContext::in_memory_sim_with(7, bad).is_err());
+    }
+
+    #[test]
+    fn on_disk_with_threads_the_segment_policy_through() {
+        use reprowd_storage::SegmentPolicy;
+        let dir = std::env::temp_dir().join(format!("reprowd-ctx-seg-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("segmented.rwlog");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(reprowd_storage::manifest::manifest_path(&path));
+        let platform = Arc::new(SimPlatform::quick(5, 0.9, 11));
+        let cfg = ExecutionConfig::with_batch_size(4)
+            .with_segment_policy(SegmentPolicy::new(512, 1.0));
+        let cc = CrowdContext::on_disk_with(
+            Arc::clone(&platform) as Arc<dyn CrowdPlatform>,
+            &path,
+            SyncPolicy::Never,
+            cfg,
+        )
+        .unwrap();
+        let cd = cc
+            .crowddata("seg")
+            .unwrap()
+            .data((0..12).map(|i| crate::value::Value::from(format!("obj{i}"))).collect())
+            .unwrap()
+            .presenter(crate::presenter::Presenter::image_label("label?", &["A", "B"]))
+            .unwrap()
+            .publish(3)
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert_eq!(cd.run_stats().results_collected, 12);
+        // The tiny policy actually reached the store: the log rotated.
+        assert!(cc.backend().stats().segments > 1, "stats: {:?}", cc.backend().stats());
+        // An invalid policy is rejected up front.
+        let bad = ExecutionConfig::default().with_segment_policy(SegmentPolicy::new(0, 0.5));
+        assert!(CrowdContext::on_disk_with(
+            Arc::clone(&platform) as Arc<dyn CrowdPlatform>,
+            dir.join("never-created.rwlog"),
+            SyncPolicy::Never,
+            bad,
+        )
+        .is_err());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! counts included.
 
 use crate::error::{Error, Result};
+use reprowd_storage::SegmentPolicy;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -29,7 +30,10 @@ use std::sync::Arc;
 pub const DEFAULT_BATCH_SIZE: usize = 100;
 
 /// Tunable execution policy of a [`CrowdContext`](crate::CrowdContext).
-#[derive(Debug, Clone, PartialEq, Eq)]
+// `PartialEq` only: `segment_policy` carries an f64 threshold, and a
+// NaN-bearing (invalid, but constructible) policy must not pretend to
+// uphold `Eq`'s reflexivity contract.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecutionConfig {
     /// Rows per platform round-trip in `publish`/`collect`. Must be ≥ 1;
     /// `1` reproduces the per-row pipeline bit-for-bit.
@@ -44,11 +48,22 @@ pub struct ExecutionConfig {
     ///
     /// [`CrowdContext::in_memory_sim_with`]: crate::CrowdContext::in_memory_sim_with
     pub sim_shards: Option<usize>,
+    /// Rotation/compaction policy for contexts that open their own
+    /// on-disk database (e.g.
+    /// [`CrowdContext::on_disk_with`](crate::CrowdContext::on_disk_with)).
+    /// Ignored when the caller supplies a ready-made backend. Like
+    /// `batch_size`, this is a pure performance knob: segment boundaries
+    /// never change the visible contents of the store.
+    pub segment_policy: SegmentPolicy,
 }
 
 impl Default for ExecutionConfig {
     fn default() -> Self {
-        ExecutionConfig { batch_size: DEFAULT_BATCH_SIZE, sim_shards: None }
+        ExecutionConfig {
+            batch_size: DEFAULT_BATCH_SIZE,
+            sim_shards: None,
+            segment_policy: SegmentPolicy::default(),
+        }
     }
 }
 
@@ -64,8 +79,14 @@ impl ExecutionConfig {
         self
     }
 
-    /// Rejects invalid configurations (`batch_size == 0`, or an explicit
-    /// shard count of 0).
+    /// Sets the on-disk segment rotation/compaction policy (builder style).
+    pub fn with_segment_policy(mut self, policy: SegmentPolicy) -> Self {
+        self.segment_policy = policy;
+        self
+    }
+
+    /// Rejects invalid configurations (`batch_size == 0`, an explicit
+    /// shard count of 0, or an impossible segment policy).
     pub fn validate(&self) -> Result<()> {
         if self.batch_size == 0 {
             return Err(Error::State("batch_size must be at least 1".into()));
@@ -73,6 +94,7 @@ impl ExecutionConfig {
         if self.sim_shards == Some(0) {
             return Err(Error::State("sim_shards must be at least 1 when set".into()));
         }
+        self.segment_policy.validate().map_err(|e| Error::State(e.to_string()))?;
         Ok(())
     }
 }
@@ -260,12 +282,24 @@ mod tests {
     #[test]
     fn retuning_preserves_other_knobs() {
         let ec = ExecutionContext::new(
-            ExecutionConfig::with_batch_size(7).with_sim_shards(3),
+            ExecutionConfig::with_batch_size(7)
+                .with_sim_shards(3)
+                .with_segment_policy(SegmentPolicy::new(4096, 0.25)),
         )
         .unwrap();
         let re = ec.retuned(2).unwrap();
         assert_eq!(re.batch_size(), 2);
         assert_eq!(re.config().sim_shards, Some(3));
+        assert_eq!(re.config().segment_policy, SegmentPolicy::new(4096, 0.25));
+    }
+
+    #[test]
+    fn invalid_segment_policy_rejected() {
+        let bad = ExecutionConfig::default().with_segment_policy(SegmentPolicy::new(0, 0.5));
+        assert!(bad.validate().is_err());
+        let bad = ExecutionConfig::default().with_segment_policy(SegmentPolicy::new(1024, 2.0));
+        assert!(bad.validate().is_err());
+        assert_eq!(ExecutionConfig::default().segment_policy, SegmentPolicy::default());
     }
 
     #[test]

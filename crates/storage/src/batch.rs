@@ -23,9 +23,17 @@ use crate::error::{Error, Result};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Op {
     /// Insert or overwrite `key` with `value`.
-    Set { key: Vec<u8>, value: Vec<u8> },
+    Set {
+        /// Key to write.
+        key: Vec<u8>,
+        /// Value to store under `key`.
+        value: Vec<u8>,
+    },
     /// Remove `key` (a no-op if absent).
-    Delete { key: Vec<u8> },
+    Delete {
+        /// Key to remove.
+        key: Vec<u8>,
+    },
 }
 
 impl Op {

@@ -2,17 +2,24 @@
 //!
 //! `DiskStore` keeps the full live key set in memory (a `BTreeMap`, so
 //! prefix scans are ordered) and makes every mutation durable by appending a
-//! one-record [`Batch`] to the log. Reprowd databases hold crowdsourced
-//! answers — thousands to a few million small rows — so an in-memory index
-//! with a replayable log is the sweet spot: recovery is a single sequential
-//! scan, and the whole database remains one file that can be shipped to
-//! another researcher.
+//! one-record [`Batch`] to a **segmented log** (see [`crate::segment`]):
+//! writes go to the active segment at the base path, which is sealed into a
+//! numbered `.seg` sibling once it reaches
+//! [`SegmentPolicy::max_segment_bytes`]; a CRC-framed manifest
+//! ([`crate::manifest`]) fixes the replay order. Compaction rewrites only
+//! garbage-heavy sealed segments and never holds the store lock for the
+//! rewrite, so multi-GB answer databases neither grow without bound nor
+//! stall readers behind a full-database rewrite. A database that never
+//! rotates remains one plain log file — the format the paper's "share the
+//! database file" workflow (and [`DiskStore::snapshot`]) emits.
 
 use crate::batch::{Batch, Op};
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::log::LogFile;
-use parking_lot::Mutex;
-use std::collections::BTreeMap;
+use crate::manifest::{fsync_parent_dir, manifest_path, parent_dir, Manifest};
+use crate::segment::{is_sweepable, segment_file_name, SealedSegment, SegStats, SegmentPolicy};
+use parking_lot::{Mutex, MutexGuard};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::{Path, PathBuf};
 
 /// When the log is fsynced.
@@ -32,11 +39,16 @@ pub enum SyncPolicy {
 /// What recovery found when opening a [`DiskStore`].
 #[derive(Debug, Clone, Default)]
 pub struct RecoveryReport {
-    /// Log records (batches) replayed.
+    /// Log records (batches) replayed, across all segments.
     pub records: u64,
-    /// Bytes of torn tail discarded.
+    /// Segment files replayed (sealed segments plus the active one).
+    pub segments: usize,
+    /// Bytes of torn tail discarded from the **active** segment (or from a
+    /// segment this open renamed to complete an interrupted rotation —
+    /// the two files where a torn tail is a normal crash artifact;
+    /// corruption in any other sealed segment fails the open instead).
     pub truncated_bytes: u64,
-    /// Why the tail was discarded, if it was.
+    /// Why a tail was discarded, if one was.
     pub truncate_reason: Option<String>,
     /// Live keys after replay.
     pub live_keys: usize,
@@ -47,12 +59,16 @@ pub struct RecoveryReport {
 pub struct StoreStats {
     /// Live keys currently visible.
     pub live_keys: usize,
-    /// Bytes occupied by the log on disk (0 for memory stores).
+    /// Bytes occupied by the log on disk, across all segments (0 for
+    /// memory stores).
     pub log_bytes: u64,
+    /// Segment files (sealed + active; 0 for memory stores).
+    pub segments: usize,
     /// Total logical write operations applied since open.
     pub writes: u64,
-    /// Estimated fraction of the log occupied by superseded records, in
-    /// [0, 1]. Only meaningful for disk stores.
+    /// Fraction of logged operations that are dead — superseded,
+    /// deleted, or delete tombstones — in [0, 1]. Only meaningful for
+    /// disk stores.
     pub garbage_ratio: f64,
 }
 
@@ -82,55 +98,254 @@ pub trait Backend: Send + Sync {
     fn stats(&self) -> StoreStats;
 }
 
-struct DiskInner {
-    map: BTreeMap<Vec<u8>, Vec<u8>>,
-    log: LogFile,
-    writes_since_sync: u32,
-    writes_total: u64,
-    /// Records appended since open plus records replayed; used with
-    /// `map.len()` to estimate garbage.
-    records_total: u64,
+/// A live map entry: the value plus the session-local id of the segment
+/// holding its current on-disk record (what compaction uses to tell live
+/// records from garbage).
+struct Slot {
+    value: Vec<u8>,
+    seg: u64,
 }
 
-/// Durable [`Backend`] backed by a single append-only log file.
+struct DiskInner {
+    map: BTreeMap<Vec<u8>, Slot>,
+    /// The segment currently accepting appends (always at the base path).
+    active: LogFile,
+    /// Session-local id of the active segment.
+    active_id: u64,
+    /// Sealed segments in replay order (mirrors the manifest).
+    sealed: Vec<SealedSegment>,
+    /// Per-segment op accounting, keyed by session-local segment id.
+    seg_stats: HashMap<u64, SegStats>,
+    /// Persisted file-name sequence counter (see [`Manifest::next_seq`]).
+    next_seq: u64,
+    /// Session-local segment id allocator.
+    next_mem_id: u64,
+    writes_since_sync: u32,
+    writes_total: u64,
+}
+
+impl DiskInner {
+    fn total_bytes(&self) -> u64 {
+        self.active.len() + self.sealed.iter().map(|s| s.bytes).sum::<u64>()
+    }
+
+    fn garbage_ratio_over(&self, segs: impl Iterator<Item = u64>) -> f64 {
+        let (mut ops, mut live) = (0u64, 0u64);
+        for id in segs {
+            if let Some(st) = self.seg_stats.get(&id) {
+                ops += st.ops;
+                live += st.live_ops;
+            }
+        }
+        if ops == 0 {
+            0.0
+        } else {
+            1.0 - live as f64 / ops as f64
+        }
+    }
+}
+
+/// Durable [`Backend`] backed by a segmented append-only log.
+///
+/// See the [crate docs](crate) for the durability guarantees and
+/// [`crate::segment`] for the on-disk layout. Until the first rotation the
+/// whole database is a single plain log file at the base path, fully
+/// compatible with databases written before segmentation existed — a
+/// legacy single-file log simply opens as the (large) active segment and
+/// is split into sealed segments by the first rotation or compaction.
 pub struct DiskStore {
     inner: Mutex<DiskInner>,
+    /// Serializes compactions; held across the (lock-free) rewrite so the
+    /// sealed prefix cannot change under a second compactor.
+    compact_lock: Mutex<()>,
     policy: SyncPolicy,
+    segment_policy: SegmentPolicy,
     path: PathBuf,
     recovery: RecoveryReport,
 }
 
 impl DiskStore {
-    /// Opens (creating if needed) the store at `path`, replaying the log and
-    /// truncating any torn tail left by a crash.
+    /// Opens (creating if needed) the store at `path` with the default
+    /// [`SegmentPolicy`], replaying the log and truncating any torn tail.
     pub fn open(path: impl AsRef<Path>, policy: SyncPolicy) -> Result<Self> {
+        DiskStore::open_with(path, policy, SegmentPolicy::default())
+    }
+
+    /// Opens (creating if needed) the store at `path`.
+    ///
+    /// Recovery, in order: a rotation interrupted between the manifest
+    /// write and the rename is completed; orphaned segment/temp files not
+    /// claimed by the manifest are swept; every manifest-listed segment is
+    /// replayed in order and then the active segment. Only the active
+    /// segment (and a just-completed-rotation segment, which *was* the
+    /// active one at crash time) truncates a torn tail — that is the
+    /// normal crash artifact. Damage in any other sealed segment is
+    /// mid-history corruption and refuses the open (see
+    /// [`crate::log::replay_sealed`]).
+    pub fn open_with(
+        path: impl AsRef<Path>,
+        policy: SyncPolicy,
+        segment_policy: SegmentPolicy,
+    ) -> Result<Self> {
+        segment_policy.validate()?;
         let path = path.as_ref().to_path_buf();
+        let base_name = base_name(&path)?;
+        let dir = parent_dir(&path);
+        let manifest = Manifest::load(&manifest_path(&path))?;
+
+        // Complete a rotation the crash interrupted: the manifest names the
+        // sealed segment first (intent), then the base file is renamed onto
+        // that name. If the last listed segment is missing but the base
+        // file exists, the rename never happened — finish it now. The
+        // completed segment was the *active* file when the crash hit, so —
+        // unlike a true sealed segment — it may legitimately end in a torn
+        // tail (e.g. a failed rotation rolled back in memory but not on
+        // disk, then unsynced appends continued); it gets the active
+        // segment's lenient truncate-the-tail replay below.
+        let mut completed_rotation: Option<String> = None;
+        if let Some(m) = &manifest {
+            if let Some(last) = m.sealed.last() {
+                let seg_path = dir.join(last);
+                if !seg_path.exists() {
+                    if path.exists() {
+                        std::fs::rename(&path, &seg_path)?;
+                        fsync_parent_dir(&path)?;
+                        completed_rotation = Some(last.clone());
+                    } else {
+                        return Err(Error::Corrupt {
+                            offset: 0,
+                            reason: format!(
+                                "manifest lists segment {last} but neither it nor the active file exists"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Sweep files a crash orphaned: segments written but never
+        // committed to the manifest, pre-segmentation `.compact` temps,
+        // and manifest temp files.
+        let claimed: HashSet<&str> = manifest
+            .as_ref()
+            .map(|m| m.sealed.iter().map(String::as_str).collect())
+            .unwrap_or_default();
+        if let Ok(entries) = std::fs::read_dir(&dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                if is_sweepable(&base_name, name) && !claimed.contains(name) {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+
+        // Replay: sealed segments in manifest order, then the active file.
         let mut map = BTreeMap::new();
-        let mut ops_replayed: u64 = 0;
-        let (log, open_report) = LogFile::open(&path, |payload| {
-            let batch = Batch::decode(payload)?;
-            ops_replayed += batch.len() as u64;
-            apply_to_map(&mut map, batch.into_ops());
-            Ok(())
+        let mut seg_stats = HashMap::new();
+        let mut sealed = Vec::new();
+        let mut recovery = RecoveryReport::default();
+        let mut next_mem_id: u64 = 0;
+        if let Some(m) = &manifest {
+            for name in &m.sealed {
+                let seg_path = dir.join(name);
+                if !seg_path.exists() {
+                    return Err(Error::Corrupt {
+                        offset: 0,
+                        reason: format!("manifest lists segment {name} but it does not exist"),
+                    });
+                }
+                let id = next_mem_id;
+                next_mem_id += 1;
+                // Sealed segments were fully fsynced before the manifest
+                // referenced them: corruption here is damage mid-history,
+                // not a crash artifact, and refuses the open (see
+                // `replay_sealed`). Two files get the lenient
+                // truncate-the-tail treatment instead: the active segment,
+                // and a segment this open just renamed to complete an
+                // interrupted rotation — that file was the active one when
+                // the crash hit, so a torn tail there is crash-normal.
+                let (records, bytes) = if completed_rotation.as_deref() == Some(name.as_str()) {
+                    let (log, report) = LogFile::open(&seg_path, |payload| {
+                        replay_record(&mut map, &mut seg_stats, id, payload)
+                    })?;
+                    recovery.truncated_bytes += report.truncated_bytes;
+                    if recovery.truncate_reason.is_none() {
+                        recovery.truncate_reason =
+                            report.truncate_reason.map(|r| format!("{name}: {r}"));
+                    }
+                    (report.records, log.len())
+                } else {
+                    crate::log::replay_sealed(&seg_path, |payload| {
+                        replay_record(&mut map, &mut seg_stats, id, payload)
+                    })?
+                };
+                recovery.records += records;
+                recovery.segments += 1;
+                sealed.push(SealedSegment { id, name: name.clone(), bytes });
+            }
+        }
+        let active_id = next_mem_id;
+        next_mem_id += 1;
+        let (active, report) = LogFile::open(&path, |payload| {
+            replay_record(&mut map, &mut seg_stats, active_id, payload)
         })?;
-        let recovery = RecoveryReport {
-            records: open_report.records,
-            truncated_bytes: open_report.truncated_bytes,
-            truncate_reason: open_report.truncate_reason,
-            live_keys: map.len(),
-        };
+        recovery.records += report.records;
+        recovery.segments += 1;
+        recovery.truncated_bytes += report.truncated_bytes;
+        if recovery.truncate_reason.is_none() {
+            recovery.truncate_reason = report.truncate_reason;
+        }
+        recovery.live_keys = map.len();
+
+        let next_seq = manifest.map(|m| m.next_seq).unwrap_or(1);
         Ok(DiskStore {
             inner: Mutex::new(DiskInner {
                 map,
-                log,
+                active,
+                active_id,
+                sealed,
+                seg_stats,
+                next_seq,
+                next_mem_id,
                 writes_since_sync: 0,
                 writes_total: 0,
-                records_total: ops_replayed,
             }),
+            compact_lock: Mutex::new(()),
             policy,
+            segment_policy,
             path,
             recovery,
         })
+    }
+
+    /// Removes the database at `path` entirely: the base file, its
+    /// manifest, every manifest-listed segment, and any sweepable debris
+    /// (orphaned `.seg` / `.compact` / `.manifest.tmp` files). A database
+    /// is a *family* of files once it has rotated, so `remove_file` on the
+    /// base path alone would leave the manifest and segments behind — and
+    /// a later open at the same path would resurrect them. A no-op if
+    /// nothing exists; never touches unrelated files (`db.rwlog.bak` etc.).
+    pub fn destroy(path: impl AsRef<Path>) -> Result<()> {
+        let path = path.as_ref();
+        let base = base_name(path)?;
+        let dir = parent_dir(path);
+        if let Ok(Some(m)) = Manifest::load(&manifest_path(path)) {
+            for name in &m.sealed {
+                let _ = std::fs::remove_file(dir.join(name));
+            }
+        }
+        let _ = std::fs::remove_file(manifest_path(path));
+        if let Ok(entries) = std::fs::read_dir(&dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                if name.to_str().is_some_and(|n| is_sweepable(&base, n)) {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+        let _ = std::fs::remove_file(path);
+        Ok(())
     }
 
     /// What recovery observed when this store was opened.
@@ -138,55 +353,343 @@ impl DiskStore {
         &self.recovery
     }
 
-    /// Path of the backing log file.
+    /// Base path of the database: the active segment (and, before the
+    /// first rotation, the entire database).
     pub fn path(&self) -> &Path {
         &self.path
     }
 
-    /// Rewrites the log so it contains exactly the live key set, reclaiming
-    /// space held by overwritten or deleted records. Returns bytes saved.
-    ///
-    /// The rewrite goes to `<path>.compact` and is atomically renamed over
-    /// the original, so a crash during compaction leaves either the old or
-    /// the new complete log — never a mix.
-    pub fn compact(&self) -> Result<u64> {
-        let mut inner = self.inner.lock();
-        let before = inner.log.len();
-        let tmp_path = self.path.with_extension("compact");
-        let _ = std::fs::remove_file(&tmp_path);
-        {
-            let (mut new_log, _) = LogFile::open(&tmp_path, |_| Ok(()))?;
-            // One batch per key keeps individual records small; the whole
-            // rewrite doesn't need to be atomic because the rename is.
-            for (k, v) in inner.map.iter() {
-                let mut b = Batch::with_capacity(1);
-                b.set(k.clone(), v.clone());
-                new_log.append(&b.encode())?;
-            }
-            new_log.sync()?;
-        }
-        std::fs::rename(&tmp_path, &self.path)?;
-        // Reopen the renamed file as our active log (no replay needed — the
-        // in-memory map is already authoritative).
-        let (log, _) = LogFile::open(&self.path, |_| Ok(()))?;
-        inner.log = log;
-        inner.records_total = inner.map.len() as u64;
-        Ok(before.saturating_sub(inner.log.len()))
+    /// The rotation/compaction policy this store was opened with.
+    pub fn segment_policy(&self) -> SegmentPolicy {
+        self.segment_policy
     }
 
-    /// Writes a point-in-time copy of the live set to `dest` (a fresh,
-    /// already-compact database file suitable for sharing).
+    /// Every file the database currently consists of, in replay order
+    /// (sealed segments, then the active segment). The manifest, when one
+    /// exists, is `<path>.manifest`.
+    pub fn segment_files(&self) -> Vec<PathBuf> {
+        let inner = self.inner.lock();
+        let dir = parent_dir(&self.path);
+        let mut files: Vec<PathBuf> = inner.sealed.iter().map(|s| dir.join(&s.name)).collect();
+        files.push(self.path.clone());
+        files
+    }
+
+    /// Rewrites garbage-heavy sealed segments so the log holds (close to)
+    /// only the live key set, reclaiming space held by overwritten or
+    /// deleted records. Returns bytes saved.
+    ///
+    /// The store lock is held only to seal the active segment, to pick
+    /// victims, and finally to swap the manifest and re-tag the in-memory
+    /// index — **never across the rewrite itself**, so concurrent `get` /
+    /// `scan_prefix` / writes proceed while the bulk of the work runs.
+    /// Victims are always a *prefix* of the replay order (every segment up
+    /// to the last one whose garbage exceeds the threshold), which is what
+    /// makes it safe to drop delete tombstones: a key deleted within the
+    /// prefix cannot have a surviving older record outside it. A crash at
+    /// any point leaves either the old or the new manifest; freshly
+    /// written but uncommitted segments are swept on the next open.
+    pub fn compact(&self) -> Result<u64> {
+        let guard = self.compact_lock.lock();
+        self.compact_guarded(guard, 0.0)
+    }
+
+    fn compact_guarded(&self, _guard: MutexGuard<'_, ()>, threshold: f64) -> Result<u64> {
+        let dir = parent_dir(&self.path);
+        // Phase 1 (brief lock): seal the active segment so its records are
+        // eligible, then pick the victim prefix.
+        let victims = {
+            let mut inner = self.inner.lock();
+            // Seal the active segment only when it is itself worth
+            // rewriting: compacting an all-live database must be a no-op,
+            // not a forced migration of a small single-file database into
+            // the multi-file layout.
+            let active_garbage = inner
+                .seg_stats
+                .get(&inner.active_id)
+                .copied()
+                .unwrap_or_default()
+                .garbage_ratio();
+            if !inner.active.is_empty() && active_garbage > threshold {
+                self.rotate_locked(&mut inner)?;
+            }
+            let mut last = None;
+            for (i, seg) in inner.sealed.iter().enumerate() {
+                let garbage = inner
+                    .seg_stats
+                    .get(&seg.id)
+                    .copied()
+                    .unwrap_or_default()
+                    .garbage_ratio();
+                if garbage > threshold {
+                    last = Some(i);
+                }
+            }
+            // Rewriting a single fully-live segment would only rename
+            // bytes; rewriting the prefix *ending* at a garbage-heavy
+            // segment reclaims its dead records and merges small segments.
+            match last {
+                Some(i) => inner.sealed[..=i].to_vec(),
+                None => Vec::new(),
+            }
+        };
+        if victims.is_empty() {
+            return Ok(0);
+        }
+
+        // Phase 2 (no store lock): replay the victim files into their
+        // combined prefix state — deletes inside the prefix apply here,
+        // which is why no tombstones need rewriting — then stream that
+        // state into fresh segment files. Sealed segments are immutable,
+        // so this races with nothing; concurrent writes land in the
+        // active segment and later sealed segments, which replay *after*
+        // the rewritten prefix and therefore supersede it per key.
+        let victim_ids: HashSet<u64> = victims.iter().map(|v| v.id).collect();
+        let mut prefix_state: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for victim in &victims {
+            crate::log::replay_sealed(&dir.join(&victim.name), |payload| {
+                let batch = Batch::decode(payload)?;
+                for op in batch.into_ops() {
+                    match op {
+                        Op::Set { key, value } => {
+                            prefix_state.insert(key, value);
+                        }
+                        Op::Delete { key } => {
+                            prefix_state.remove(&key);
+                        }
+                    }
+                }
+                Ok(())
+            })?;
+        }
+        // Drop entries that a *later* segment has already superseded or
+        // deleted (their live record is not inside the victims): copying
+        // them forward would write garbage the next compaction copies
+        // again, so the log would never converge. Checked against the
+        // live map in short bursts to keep readers unblocked.
+        {
+            let mut filtered = BTreeMap::new();
+            let mut entries = prefix_state.into_iter();
+            'filter: loop {
+                let inner = self.inner.lock();
+                for _ in 0..4096 {
+                    let Some((key, value)) = entries.next() else { break 'filter };
+                    let live_here =
+                        inner.map.get(&key).is_some_and(|slot| victim_ids.contains(&slot.seg));
+                    if live_here {
+                        filtered.insert(key, value);
+                    }
+                }
+            }
+            prefix_state = filtered;
+        }
+        let outputs = self.write_compacted_segments(&dir, prefix_state)?;
+        // Bytes saved are measured against the rewritten prefix only —
+        // concurrent writes appending to the active segment are not
+        // compaction's business.
+        let victim_bytes: u64 = victims.iter().map(|v| v.bytes).sum();
+        let output_bytes: u64 = outputs.iter().map(|o| o.bytes).sum();
+
+        // The live filter above trusted the in-memory map, which may
+        // reflect *unsynced* active-segment writes: a key overwritten in
+        // the (un-fsynced) active was dropped from the outputs because
+        // its old victim copy looked superseded. Before the victims
+        // become unreferenced, the active segment must be durable —
+        // otherwise a power loss could tear off the new value after the
+        // old one was already discarded, losing a previously durable key
+        // entirely. Synced via a cloned fd so no store lock is held for
+        // the fsync (writes racing past the sync are safe: they happened
+        // after the filter, so their keys' old copies were *kept* in the
+        // outputs).
+        let active_handle = self.inner.lock().active.sync_handle()?;
+        active_handle.sync_data()?;
+        drop(active_handle);
+
+        // Phase 3 (brief lock): splice the rewritten prefix into the
+        // manifest, re-tag live map entries to their new home segments,
+        // and swap atomically. This is the only moment readers can stall.
+        {
+            let mut inner = self.inner.lock();
+            debug_assert!(
+                inner.sealed.iter().zip(&victims).all(|(a, b)| a.name == b.name),
+                "victims must still be the sealed prefix"
+            );
+            let keep = inner.sealed.split_off(victims.len());
+            let mut new_sealed = Vec::with_capacity(outputs.len() + keep.len());
+            for out in outputs {
+                let id = inner.next_mem_id;
+                inner.next_mem_id += 1;
+                // Outputs were streamed in key order, so each covers a
+                // contiguous key range; every live-in-victims entry inside
+                // it is exactly the set of entries the output holds
+                // (writes during the rewrite moved their keys' homes to
+                // the active segment, which the victim check skips).
+                let mut live_ops = 0u64;
+                for (_, slot) in inner.map.range_mut(out.first..=out.last) {
+                    if victim_ids.contains(&slot.seg) {
+                        slot.seg = id;
+                        live_ops += 1;
+                    }
+                }
+                inner.seg_stats.insert(id, SegStats { ops: out.ops, live_ops });
+                new_sealed.push(SealedSegment { id, name: out.name, bytes: out.bytes });
+            }
+            new_sealed.extend(keep);
+            inner.sealed = new_sealed;
+            for id in &victim_ids {
+                inner.seg_stats.remove(id);
+            }
+            self.write_manifest_locked(&mut inner)?;
+        }
+        // The old prefix is no longer referenced; its files can go
+        // without any lock held.
+        for victim in &victims {
+            let _ = std::fs::remove_file(dir.join(&victim.name));
+        }
+        fsync_parent_dir(&self.path)?;
+        Ok(victim_bytes.saturating_sub(output_bytes))
+    }
+
+    /// Streams `state` into as many fresh sealed-segment files as
+    /// `max_segment_bytes` requires, fsyncing each (and the directory)
+    /// before returning — they must be durable before any manifest
+    /// references them.
+    fn write_compacted_segments(
+        &self,
+        dir: &Path,
+        state: BTreeMap<Vec<u8>, Vec<u8>>,
+    ) -> Result<Vec<CompactedSegment>> {
+        /// Ops per record: keeps typical records small while amortizing
+        /// framing overhead.
+        const OPS_PER_RECORD: usize = 256;
+        /// Payload bytes after which a record is cut early.
+        const RECORD_BYTES: usize = 1 << 20;
+        /// Hard payload ceiling for one record: comfortably under
+        /// `MAX_RECORD_LEN`, leaving headroom for per-op framing. A
+        /// pending record is flushed *before* an entry that would push it
+        /// past this, so a near-limit value gets a record of its own and
+        /// `record::encode` can never fail mid-compaction.
+        const RECORD_HARD_CAP: usize = crate::record::MAX_RECORD_LEN - (1 << 16);
+
+        let mut writer = OutputWriter {
+            store: self,
+            dir,
+            base: base_name(&self.path)?,
+            outputs: Vec::new(),
+            current: None,
+        };
+        let mut batch = Batch::new();
+        let mut batch_bytes = 0usize;
+        let mut batch_first: Vec<u8> = Vec::new();
+        let mut batch_last: Vec<u8> = Vec::new();
+        for (key, value) in state {
+            let entry_bytes = key.len() + value.len();
+            if !batch.is_empty()
+                && (batch.len() >= OPS_PER_RECORD
+                    || batch_bytes >= RECORD_BYTES
+                    || batch_bytes + entry_bytes > RECORD_HARD_CAP)
+            {
+                writer.append_record(std::mem::take(&mut batch), &batch_first, &batch_last)?;
+                batch_bytes = 0;
+            }
+            if batch.is_empty() {
+                batch_first = key.clone();
+            }
+            batch_last = key.clone();
+            batch_bytes += entry_bytes;
+            batch.set(key, value);
+        }
+        if !batch.is_empty() {
+            writer.append_record(batch, &batch_first, &batch_last)?;
+        }
+        let outputs = writer.finish()?;
+        if !outputs.is_empty() {
+            fsync_parent_dir(&self.path)?;
+        }
+        Ok(outputs)
+    }
+
+    /// Seals the active segment: manifest first (intent), then rename the
+    /// base file onto the sealed name, then start a fresh active segment.
+    /// `open_with` completes the rename if a crash lands between the two.
+    fn rotate_locked(&self, inner: &mut DiskInner) -> Result<()> {
+        inner.active.sync()?;
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        let name = segment_file_name(&base_name(&self.path)?, seq);
+        inner.sealed.push(SealedSegment {
+            id: inner.active_id,
+            name: name.clone(),
+            bytes: inner.active.len(),
+        });
+        let seg_path = parent_dir(&self.path).join(&name);
+        let renamed = self
+            .write_manifest_locked(inner)
+            .and_then(|()| std::fs::rename(&self.path, &seg_path).map_err(Error::from));
+        // The rename moved the base file, but the fresh active segment is
+        // not in place yet; any failure before it is must not leave the
+        // store appending (through the still-open fd) into a file the
+        // manifest now calls sealed — compaction relies on sealed
+        // segments being immutable.
+        let active = renamed.and_then(|()| {
+            fsync_parent_dir(&self.path)?;
+            let (active, _) = LogFile::open(&self.path, |_| Ok(()))?;
+            fsync_parent_dir(&self.path)?;
+            Ok(active)
+        });
+        let active = match active {
+            Ok(active) => active,
+            Err(e) => {
+                // Roll back so a *transient* failure cannot poison later
+                // rotations: un-rename the base file (a no-op if the
+                // rename never happened) and pop the phantom entry, so
+                // the next rotation writes a manifest without it. If the
+                // on-disk manifest keeps the entry (rollback write also
+                // failed), its missing segment is the LAST one and the
+                // base file exists — exactly the interrupted-rotation
+                // state `open_with` knows how to complete.
+                let _ = std::fs::rename(&seg_path, &self.path);
+                inner.sealed.pop();
+                let _ = self.write_manifest_locked(inner);
+                return Err(e);
+            }
+        };
+        inner.active = active;
+        inner.active_id = inner.next_mem_id;
+        inner.next_mem_id += 1;
+        // The sealed segment was fully synced above.
+        inner.writes_since_sync = 0;
+        Ok(())
+    }
+
+    fn write_manifest_locked(&self, inner: &mut DiskInner) -> Result<()> {
+        Manifest {
+            next_seq: inner.next_seq,
+            sealed: inner.sealed.iter().map(|s| s.name.clone()).collect(),
+        }
+        .store(&manifest_path(&self.path))
+    }
+
+    /// Writes a point-in-time copy of the live set to `dest`: a fresh,
+    /// already-compact **single-file** database, the format the paper's
+    /// "ship the database next to the code" workflow expects regardless of
+    /// how many segments the source has grown.
     pub fn snapshot(&self, dest: impl AsRef<Path>) -> Result<()> {
         let inner = self.inner.lock();
         let dest = dest.as_ref();
         let _ = std::fs::remove_file(dest);
+        // A stale manifest at the destination would graft foreign segments
+        // onto the snapshot when it is opened; remove it so `dest` opens
+        // as the single file just written.
+        let _ = std::fs::remove_file(manifest_path(dest));
         let (mut log, _) = LogFile::open(dest, |_| Ok(()))?;
-        for (k, v) in inner.map.iter() {
+        for (k, slot) in inner.map.iter() {
             let mut b = Batch::with_capacity(1);
-            b.set(k.clone(), v.clone());
+            b.set(k.clone(), slot.value.clone());
             log.append(&b.encode())?;
         }
         log.sync()?;
+        fsync_parent_dir(dest)?;
         Ok(())
     }
 
@@ -194,35 +697,180 @@ impl DiskStore {
         if batch.is_empty() {
             return Ok(());
         }
-        let mut inner = self.inner.lock();
-        let encoded = batch.encode();
-        inner.log.append(&encoded)?;
-        inner.records_total += batch.len() as u64;
-        inner.writes_total += 1;
-        apply_to_map(&mut inner.map, batch.into_ops());
-        match self.policy {
-            SyncPolicy::Never => {}
-            SyncPolicy::Always => inner.log.sync()?,
-            SyncPolicy::EveryN(n) => {
-                inner.writes_since_sync += 1;
-                if inner.writes_since_sync >= n {
-                    inner.log.sync()?;
-                    inner.writes_since_sync = 0;
+        let auto_compact = {
+            let mut inner = self.inner.lock();
+            let inner = &mut *inner;
+            let encoded = batch.encode();
+            inner.active.append(&encoded)?;
+            inner.writes_total += 1;
+            apply_ops(&mut inner.map, &mut inner.seg_stats, inner.active_id, batch.into_ops());
+            match self.policy {
+                SyncPolicy::Never => {}
+                SyncPolicy::Always => inner.active.sync()?,
+                SyncPolicy::EveryN(n) => {
+                    inner.writes_since_sync += 1;
+                    if inner.writes_since_sync >= n {
+                        inner.active.sync()?;
+                        inner.writes_since_sync = 0;
+                    }
                 }
+            }
+            if inner.active.len() >= self.segment_policy.max_segment_bytes {
+                self.rotate_locked(inner)?;
+                let sealed_garbage =
+                    inner.garbage_ratio_over(inner.sealed.iter().map(|s| s.id));
+                // Strictly greater, matching victim selection: if the
+                // aggregate exceeds the threshold, at least one segment
+                // does too (the aggregate is a weighted mean), so a
+                // triggered compaction always has victims to rewrite.
+                sealed_garbage > self.segment_policy.compact_garbage_ratio
+                    && self.segment_policy.compact_garbage_ratio < 1.0
+            } else {
+                false
+            }
+        };
+        if auto_compact {
+            // Skip, rather than queue behind, a compaction already in
+            // flight — the next rotation will re-check. Failures are
+            // deliberately not surfaced here: the write itself is already
+            // durable, so failing it would report an error for data that
+            // a subsequent `get` serves fine. A failed auto-compaction
+            // leaves only unreferenced output files (swept on open), the
+            // garbage ratio stays high so the next rotation retries, and
+            // an explicit `compact()` surfaces the underlying error.
+            if let Some(guard) = self.compact_lock.try_lock() {
+                let _ = self.compact_guarded(guard, self.segment_policy.compact_garbage_ratio);
             }
         }
         Ok(())
     }
 }
 
-fn apply_to_map(map: &mut BTreeMap<Vec<u8>, Vec<u8>>, ops: Vec<Op>) {
+/// A freshly written compacted segment, pending the manifest swap.
+///
+/// Outputs are streamed in ascending key order, so `first..=last` is the
+/// exact (contiguous) key range the segment holds — enough for the swap
+/// to re-tag live map entries without carrying every key.
+struct CompactedSegment {
+    name: String,
+    bytes: u64,
+    ops: u64,
+    first: Vec<u8>,
+    last: Vec<u8>,
+}
+
+/// Streams compaction records into fresh sealed-segment files, opening a
+/// new one whenever the current file reaches the segment size and fsyncing
+/// each before it is handed back for the manifest swap.
+struct OutputWriter<'a> {
+    store: &'a DiskStore,
+    dir: &'a Path,
+    base: String,
+    outputs: Vec<CompactedSegment>,
+    current: Option<(LogFile, CompactedSegment)>,
+}
+
+impl OutputWriter<'_> {
+    fn append_record(&mut self, batch: Batch, first: &[u8], last: &[u8]) -> Result<()> {
+        if self.current.is_none() {
+            let seq = {
+                let mut inner = self.store.inner.lock();
+                let seq = inner.next_seq;
+                inner.next_seq += 1;
+                seq
+            };
+            let name = segment_file_name(&self.base, seq);
+            let seg_path = self.dir.join(&name);
+            let _ = std::fs::remove_file(&seg_path);
+            let (log, _) = LogFile::open(&seg_path, |_| Ok(()))?;
+            self.current = Some((
+                log,
+                CompactedSegment {
+                    name,
+                    bytes: 0,
+                    ops: 0,
+                    first: first.to_vec(),
+                    last: Vec::new(),
+                },
+            ));
+        }
+        let (log, seg) = self.current.as_mut().expect("output segment is open");
+        seg.ops += batch.len() as u64;
+        seg.last = last.to_vec();
+        log.append(&batch.encode())?;
+        if log.len() >= self.store.segment_policy.max_segment_bytes {
+            self.close_current()?;
+        }
+        Ok(())
+    }
+
+    fn close_current(&mut self) -> Result<()> {
+        if let Some((mut log, mut seg)) = self.current.take() {
+            log.sync()?;
+            seg.bytes = log.len();
+            self.outputs.push(seg);
+        }
+        Ok(())
+    }
+
+    fn finish(mut self) -> Result<Vec<CompactedSegment>> {
+        self.close_current()?;
+        Ok(self.outputs)
+    }
+}
+
+/// The file-name component of the base path (segments are named after it).
+fn base_name(path: &Path) -> Result<String> {
+    path.file_name()
+        .and_then(|n| n.to_str())
+        .map(str::to_owned)
+        .ok_or_else(|| {
+            Error::InvalidArgument(format!(
+                "database path {} has no usable file name",
+                path.display()
+            ))
+        })
+}
+
+/// Replays one log record (an encoded [`Batch`]) into the in-memory state.
+fn replay_record(
+    map: &mut BTreeMap<Vec<u8>, Slot>,
+    seg_stats: &mut HashMap<u64, SegStats>,
+    seg: u64,
+    payload: &[u8],
+) -> Result<()> {
+    let batch = Batch::decode(payload)?;
+    apply_ops(map, seg_stats, seg, batch.into_ops());
+    Ok(())
+}
+
+/// Applies ops to the map, maintaining per-segment live/total accounting.
+fn apply_ops(
+    map: &mut BTreeMap<Vec<u8>, Slot>,
+    seg_stats: &mut HashMap<u64, SegStats>,
+    seg: u64,
+    ops: Vec<Op>,
+) {
     for op in ops {
         match op {
             Op::Set { key, value } => {
-                map.insert(key, value);
+                let stats = seg_stats.entry(seg).or_default();
+                stats.ops += 1;
+                stats.live_ops += 1;
+                if let Some(old) = map.insert(key, Slot { value, seg }) {
+                    let old_stats = seg_stats.entry(old.seg).or_default();
+                    old_stats.live_ops = old_stats.live_ops.saturating_sub(1);
+                }
             }
             Op::Delete { key } => {
-                map.remove(&key);
+                // The tombstone itself is garbage from birth: it is only
+                // needed until a prefix compaction swallows both it and
+                // every older record of the key.
+                seg_stats.entry(seg).or_default().ops += 1;
+                if let Some(old) = map.remove(&key) {
+                    let old_stats = seg_stats.entry(old.seg).or_default();
+                    old_stats.live_ops = old_stats.live_ops.saturating_sub(1);
+                }
             }
         }
     }
@@ -236,7 +884,7 @@ impl Backend for DiskStore {
     }
 
     fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        Ok(self.inner.lock().map.get(key).cloned())
+        Ok(self.inner.lock().map.get(key).map(|slot| slot.value.clone()))
     }
 
     fn delete(&self, key: &[u8]) -> Result<()> {
@@ -247,7 +895,7 @@ impl Backend for DiskStore {
 
     fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
         let inner = self.inner.lock();
-        Ok(scan_map_prefix(&inner.map, prefix))
+        Ok(scan_map_prefix(&inner.map, prefix, |slot| slot.value.clone()))
     }
 
     fn apply_batch(&self, batch: Batch) -> Result<()> {
@@ -259,29 +907,37 @@ impl Backend for DiskStore {
     }
 
     fn flush(&self) -> Result<()> {
-        self.inner.lock().log.sync()
+        let mut inner = self.inner.lock();
+        inner.active.sync()?;
+        // An explicit flush restarts the EveryN window; without this, the
+        // next write after a flush could trigger a premature auto-fsync.
+        inner.writes_since_sync = 0;
+        Ok(())
     }
 
     fn stats(&self) -> StoreStats {
         let inner = self.inner.lock();
-        let live = inner.map.len() as u64;
-        let total = inner.records_total.max(1);
         StoreStats {
             live_keys: inner.map.len(),
-            log_bytes: inner.log.len(),
+            log_bytes: inner.total_bytes(),
+            segments: inner.sealed.len() + 1,
             writes: inner.writes_total,
-            garbage_ratio: 1.0 - (live.min(total) as f64 / total as f64),
+            garbage_ratio: inner.garbage_ratio_over(
+                inner.sealed.iter().map(|s| s.id).chain([inner.active_id]),
+            ),
         }
     }
 }
 
 /// Ordered prefix scan over a `BTreeMap` using range bounds (no full walk).
-pub(crate) fn scan_map_prefix(
-    map: &BTreeMap<Vec<u8>, Vec<u8>>,
+/// `extract` projects the stored value type to the returned one.
+pub(crate) fn scan_map_prefix<V, T>(
+    map: &BTreeMap<Vec<u8>, V>,
     prefix: &[u8],
-) -> Vec<(Vec<u8>, Vec<u8>)> {
+    extract: impl Fn(&V) -> T,
+) -> Vec<(Vec<u8>, T)> {
     if prefix.is_empty() {
-        return map.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        return map.iter().map(|(k, v)| (k.clone(), extract(v))).collect();
     }
     let mut end = prefix.to_vec();
     // Compute the smallest byte string strictly greater than every string
@@ -298,11 +954,11 @@ pub(crate) fn scan_map_prefix(
             None => break None,
         }
     };
-    let iter: Box<dyn Iterator<Item = (&Vec<u8>, &Vec<u8>)>> = match upper {
+    let iter: Box<dyn Iterator<Item = (&Vec<u8>, &V)>> = match upper {
         Some(upper) => Box::new(map.range(prefix.to_vec()..upper)),
         None => Box::new(map.range(prefix.to_vec()..)),
     };
-    iter.map(|(k, v)| (k.clone(), v.clone())).collect()
+    iter.map(|(k, v)| (k.clone(), extract(v))).collect()
 }
 
 #[cfg(test)]
@@ -314,8 +970,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("reprowd-kv-tests-{}", std::process::id()));
         fs::create_dir_all(&dir).unwrap();
         let p = dir.join(name);
-        let _ = fs::remove_file(&p);
-        let _ = fs::remove_file(p.with_extension("compact"));
+        DiskStore::destroy(&p).unwrap();
         p
     }
 
@@ -347,6 +1002,22 @@ mod tests {
         assert_eq!(store.get(b"b").unwrap().as_deref(), Some(&b"2"[..]));
         assert_eq!(store.recovery_report().records, 3);
         assert_eq!(store.recovery_report().live_keys, 1);
+        assert_eq!(store.recovery_report().segments, 1);
+    }
+
+    #[test]
+    fn small_databases_stay_single_file() {
+        let path = tmp("singlefile.rwlog");
+        let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+        for i in 0..100u32 {
+            store.set(&i.to_le_bytes(), b"small").unwrap();
+        }
+        assert_eq!(store.stats().segments, 1);
+        assert!(path.exists());
+        assert!(
+            !manifest_path(&path).exists(),
+            "a never-rotated database must not grow a manifest"
+        );
     }
 
     #[test]
@@ -429,6 +1100,20 @@ mod tests {
     }
 
     #[test]
+    fn compacting_an_all_live_single_file_db_is_a_noop() {
+        let path = tmp("compact-noop.rwlog");
+        let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+        for i in 0..25u32 {
+            store.set(&i.to_le_bytes(), b"fresh").unwrap();
+        }
+        assert_eq!(store.compact().unwrap(), 0);
+        // The database must stay one sharable file — no forced migration.
+        assert_eq!(store.stats().segments, 1);
+        assert!(!manifest_path(&path).exists());
+        assert_eq!(store.stats().live_keys, 25);
+    }
+
+    #[test]
     fn store_is_writable_after_compaction() {
         let path = tmp("compact-write.rwlog");
         let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
@@ -439,6 +1124,85 @@ mod tests {
         let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
         assert_eq!(store.get(b"a").unwrap().as_deref(), Some(&b"1"[..]));
         assert_eq!(store.get(b"b").unwrap().as_deref(), Some(&b"2"[..]));
+    }
+
+    #[test]
+    fn rotation_seals_segments_and_reopen_replays_them() {
+        let path = tmp("rotate.rwlog");
+        let policy = SegmentPolicy::new(256, 1.0); // tiny segments, no auto-compaction
+        {
+            let store = DiskStore::open_with(&path, SyncPolicy::Never, policy).unwrap();
+            for i in 0..100u32 {
+                store.set(format!("k/{i:04}").as_bytes(), b"0123456789abcdef").unwrap();
+            }
+            let stats = store.stats();
+            assert!(stats.segments > 2, "expected several segments, got {}", stats.segments);
+            assert!(manifest_path(&path).exists());
+        }
+        let store = DiskStore::open_with(&path, SyncPolicy::Never, policy).unwrap();
+        assert_eq!(store.stats().live_keys, 100);
+        assert!(store.recovery_report().segments > 2);
+        for i in 0..100u32 {
+            assert_eq!(
+                store.get(format!("k/{i:04}").as_bytes()).unwrap().as_deref(),
+                Some(&b"0123456789abcdef"[..])
+            );
+        }
+    }
+
+    #[test]
+    fn auto_compaction_bounds_log_growth() {
+        let path = tmp("autocompact.rwlog");
+        let policy = SegmentPolicy::new(1024, 0.5);
+        let store = DiskStore::open_with(&path, SyncPolicy::Never, policy).unwrap();
+        // Overwrite the same 20 keys hundreds of times: without
+        // compaction the log would hold every round.
+        for round in 0..200u32 {
+            for i in 0..20u32 {
+                store
+                    .set(format!("hot/{i}").as_bytes(), format!("round-{round:04}-payload").as_bytes())
+                    .unwrap();
+            }
+        }
+        let stats = store.stats();
+        assert_eq!(stats.live_keys, 20);
+        // 4000 writes * ~40 bytes ≈ 160 KiB of raw appends; the compacted
+        // database must stay within a few segments of live data.
+        assert!(
+            stats.log_bytes < 16 * 1024,
+            "auto-compaction failed to bound the log: {} bytes",
+            stats.log_bytes
+        );
+        drop(store);
+        let store = DiskStore::open_with(&path, SyncPolicy::Never, policy).unwrap();
+        assert_eq!(store.stats().live_keys, 20);
+        assert_eq!(
+            store.get(b"hot/7").unwrap().as_deref(),
+            Some(&b"round-0199-payload"[..])
+        );
+    }
+
+    #[test]
+    fn deletes_do_not_resurrect_across_compaction() {
+        let path = tmp("tombstone.rwlog");
+        let policy = SegmentPolicy::new(128, 1.0);
+        let store = DiskStore::open_with(&path, SyncPolicy::Never, policy).unwrap();
+        // `victim` is written early (first segment), deleted later
+        // (different segment). Compacting the prefix must not bring it back.
+        store.set(b"victim", b"old-value-padding-padding").unwrap();
+        for i in 0..20u32 {
+            store.set(format!("fill/{i}").as_bytes(), b"xxxxxxxxxxxxxxxx").unwrap();
+        }
+        store.delete(b"victim").unwrap();
+        for i in 0..20u32 {
+            store.set(format!("more/{i}").as_bytes(), b"yyyyyyyyyyyyyyyy").unwrap();
+        }
+        store.compact().unwrap();
+        assert_eq!(store.get(b"victim").unwrap(), None);
+        drop(store);
+        let store = DiskStore::open_with(&path, SyncPolicy::Never, policy).unwrap();
+        assert_eq!(store.get(b"victim").unwrap(), None, "delete lost by compaction");
+        assert_eq!(store.stats().live_keys, 40);
     }
 
     #[test]
@@ -456,6 +1220,24 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_of_segmented_store_is_single_file() {
+        let src = tmp("snap-seg-src.rwlog");
+        let dst = tmp("snap-seg-dst.rwlog");
+        let store =
+            DiskStore::open_with(&src, SyncPolicy::Never, SegmentPolicy::new(256, 1.0)).unwrap();
+        for i in 0..50u32 {
+            store.set(format!("k/{i:03}").as_bytes(), b"0123456789abcdef").unwrap();
+        }
+        assert!(store.stats().segments > 1);
+        store.snapshot(&dst).unwrap();
+        assert!(dst.exists());
+        assert!(!manifest_path(&dst).exists(), "snapshot must be one file");
+        let copy = DiskStore::open(&dst, SyncPolicy::Never).unwrap();
+        assert_eq!(copy.stats().segments, 1);
+        assert_eq!(copy.scan_prefix(b"").unwrap(), store.scan_prefix(b"").unwrap());
+    }
+
+    #[test]
     fn sync_policies_accept_writes() {
         for policy in [SyncPolicy::Never, SyncPolicy::Always, SyncPolicy::EveryN(3)] {
             let store =
@@ -465,6 +1247,23 @@ mod tests {
             }
             assert_eq!(store.stats().live_keys, 10);
         }
+    }
+
+    #[test]
+    fn flush_resets_the_everyn_window() {
+        let store =
+            DiskStore::open(tmp("flush-everyn.rwlog"), SyncPolicy::EveryN(3)).unwrap();
+        store.set(b"a", b"1").unwrap();
+        store.set(b"b", b"2").unwrap();
+        store.flush().unwrap();
+        // The explicit flush must restart the window: the counter is 0
+        // again, so two more writes stay below the threshold.
+        assert_eq!(store.inner.lock().writes_since_sync, 0);
+        store.set(b"c", b"3").unwrap();
+        store.set(b"d", b"4").unwrap();
+        assert_eq!(store.inner.lock().writes_since_sync, 2);
+        store.set(b"e", b"5").unwrap();
+        assert_eq!(store.inner.lock().writes_since_sync, 0, "third write syncs");
     }
 
     #[test]
@@ -497,5 +1296,50 @@ mod tests {
         store.set(b"k", b"").unwrap(); // empty value is still present
         assert!(store.contains(b"k").unwrap());
         assert_eq!(store.get(b"k").unwrap().as_deref(), Some(&b""[..]));
+    }
+
+    #[test]
+    fn destroy_removes_the_whole_file_family() {
+        let path = tmp("destroy.rwlog");
+        let policy = SegmentPolicy::new(256, 1.0);
+        {
+            let store = DiskStore::open_with(&path, SyncPolicy::Never, policy).unwrap();
+            for i in 0..60u32 {
+                store.set(format!("k/{i:03}").as_bytes(), b"0123456789abcdef").unwrap();
+            }
+            assert!(store.stats().segments > 2);
+        }
+        // An unrelated sibling must survive.
+        let keeper = path.with_file_name("destroy.rwlog.bak");
+        fs::write(&keeper, b"keep").unwrap();
+        DiskStore::destroy(&path).unwrap();
+        assert!(!path.exists());
+        assert!(!manifest_path(&path).exists());
+        let family: Vec<_> = fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .flatten()
+            .filter(|e| {
+                let n = e.file_name().to_string_lossy().into_owned();
+                n.starts_with("destroy.rwlog") && n != "destroy.rwlog.bak"
+            })
+            .collect();
+        assert!(family.is_empty(), "left behind: {family:?}");
+        assert!(keeper.exists());
+        fs::remove_file(keeper).unwrap();
+        // Destroying a non-existent database is a no-op, and the path is
+        // free for a fresh store.
+        DiskStore::destroy(&path).unwrap();
+        let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+        assert_eq!(store.stats().live_keys, 0);
+    }
+
+    #[test]
+    fn invalid_segment_policy_rejected_at_open() {
+        let err = DiskStore::open_with(
+            tmp("badpolicy.rwlog"),
+            SyncPolicy::Never,
+            SegmentPolicy::new(0, 0.5),
+        );
+        assert!(err.is_err());
     }
 }

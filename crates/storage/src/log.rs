@@ -22,6 +22,47 @@ pub struct OpenReport {
     pub truncate_reason: Option<String>,
 }
 
+/// Replays a **sealed** (immutable) log file without opening it for
+/// writing, returning `(records, bytes)` on success.
+///
+/// Sealed segments are fully fsynced before the manifest ever references
+/// them, so — unlike the active segment — a torn or undecodable record
+/// here is *not* a normal crash artifact: it is real on-disk corruption
+/// in the middle of history. Silently truncating it and replaying later
+/// segments would recover a state that was never any prefix of the
+/// database (e.g. resurrecting a key whose delete was in the damaged
+/// region), so it is reported as a hard [`Error::Corrupt`] instead.
+///
+/// [`Error::Corrupt`]: crate::error::Error::Corrupt
+pub fn replay_sealed<F>(path: &Path, mut replay: F) -> Result<(u64, u64)>
+where
+    F: FnMut(&[u8]) -> Result<()>,
+{
+    let file = OpenOptions::new().read(true).open(path)?;
+    let mut reader = BufReader::new(file);
+    let mut records = 0u64;
+    let mut offset = 0u64;
+    loop {
+        match read_record(&mut reader, offset)? {
+            ReadOutcome::Record(payload) => {
+                replay(&payload)?;
+                offset += (crate::record::HEADER_LEN + payload.len()) as u64;
+                records += 1;
+            }
+            ReadOutcome::Eof => return Ok((records, offset)),
+            ReadOutcome::Torn { offset: torn_at, reason } => {
+                return Err(crate::error::Error::Corrupt {
+                    offset: torn_at,
+                    reason: format!(
+                        "sealed segment {} is damaged mid-history: {reason}",
+                        path.display()
+                    ),
+                })
+            }
+        }
+    }
+}
+
 /// A single append-only file of framed records.
 pub struct LogFile {
     path: PathBuf,
@@ -33,6 +74,15 @@ pub struct LogFile {
 impl LogFile {
     /// Opens (or creates) the log at `path`, replaying existing records into
     /// `replay` and truncating any torn tail.
+    ///
+    /// A record that is CRC-valid but that `replay` rejects (e.g. a
+    /// payload `Batch::decode` cannot parse) is treated exactly like a
+    /// torn tail: the log is truncated from that record's start and the
+    /// rejection is reported as the truncate reason. Failing the open
+    /// instead would permanently brick the database over its final write —
+    /// a worse outcome than the at-most-one-record loss every crash
+    /// already admits. `replay` must therefore only return `Err` for
+    /// undecodable payloads, never for conditions worth aborting the open.
     pub fn open<F>(path: &Path, mut replay: F) -> Result<(Self, OpenReport)>
     where
         F: FnMut(&[u8]) -> Result<()>,
@@ -45,12 +95,20 @@ impl LogFile {
         let mut reader = BufReader::new(&mut file);
         let mut offset: u64 = 0;
         loop {
-            match read_record(&mut reader, offset)? {
-                ReadOutcome::Record(payload) => {
-                    offset += (crate::record::HEADER_LEN + payload.len()) as u64;
-                    report.records += 1;
-                    replay(&payload)?;
-                }
+            let record_start = offset;
+            match read_record(&mut reader, record_start)? {
+                ReadOutcome::Record(payload) => match replay(&payload) {
+                    Ok(()) => {
+                        offset = record_start + (crate::record::HEADER_LEN + payload.len()) as u64;
+                        report.records += 1;
+                    }
+                    Err(e) => {
+                        report.truncated_bytes = file_len - record_start;
+                        report.truncate_reason =
+                            Some(format!("replay rejected record at offset {record_start}: {e}"));
+                        break;
+                    }
+                },
                 ReadOutcome::Eof => break,
                 ReadOutcome::Torn { offset: torn_at, reason } => {
                     report.truncated_bytes = file_len - torn_at;
@@ -82,6 +140,12 @@ impl LogFile {
     pub fn sync(&mut self) -> Result<()> {
         self.file.sync_data()?;
         Ok(())
+    }
+
+    /// A second handle to the underlying file, for syncing it without
+    /// holding whatever lock guards the `LogFile` itself.
+    pub(crate) fn sync_handle(&self) -> Result<File> {
+        Ok(self.file.try_clone()?)
     }
 
     /// Logical length in bytes (only intact records).
@@ -197,6 +261,74 @@ mod tests {
         assert!(seen.is_empty());
         assert_eq!(report, OpenReport::default());
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn replay_sealed_is_strict_about_corruption() {
+        let path = tmp("sealed_strict.log");
+        {
+            let (mut log, _) = LogFile::open(&path, |_| Ok(())).unwrap();
+            log.append(b"one").unwrap();
+            log.append(b"two").unwrap();
+            log.sync().unwrap();
+        }
+        let mut seen = Vec::new();
+        let (records, bytes) = replay_sealed(&path, |p| {
+            seen.push(p.to_vec());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(records, 2);
+        assert_eq!(bytes, fs::metadata(&path).unwrap().len());
+        assert_eq!(seen.len(), 2);
+        // Flip a payload byte: a sealed segment must refuse to replay, and
+        // must NOT be truncated in place (the evidence is preserved).
+        let len_before = fs::metadata(&path).unwrap().len();
+        {
+            use std::io::{Seek as _, SeekFrom, Write as _};
+            let mut f = OpenOptions::new().read(true).write(true).open(&path).unwrap();
+            f.seek(SeekFrom::Start(crate::record::HEADER_LEN as u64)).unwrap();
+            f.write_all(&[0xEE]).unwrap();
+        }
+        let err = replay_sealed(&path, |_| Ok(())).unwrap_err();
+        assert!(err.to_string().contains("damaged mid-history"), "{err}");
+        assert_eq!(fs::metadata(&path).unwrap().len(), len_before);
+    }
+
+    #[test]
+    fn replay_rejection_truncates_instead_of_failing_open() {
+        let path = tmp("replay_reject.log");
+        {
+            let (mut log, _) = LogFile::open(&path, |_| Ok(())).unwrap();
+            log.append(b"good").unwrap();
+            log.append(b"poison").unwrap();
+            log.append(b"after-poison").unwrap();
+        }
+        // The open must succeed, keep everything before the rejected
+        // record, and drop it plus everything after.
+        let mut seen = Vec::new();
+        let (log, report) = LogFile::open(&path, |p| {
+            if p == b"poison" {
+                return Err(crate::error::Error::Corrupt {
+                    offset: 0,
+                    reason: "undecodable payload".into(),
+                });
+            }
+            seen.push(p.to_vec());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen, vec![b"good".to_vec()]);
+        assert_eq!(report.records, 1);
+        assert!(report.truncated_bytes > 0);
+        let reason = report.truncate_reason.unwrap();
+        assert!(reason.contains("replay rejected"), "{reason}");
+        // The file was physically truncated at the rejected record.
+        assert_eq!(log.len(), (crate::record::HEADER_LEN + 4) as u64);
+        drop(log);
+        let (seen, report, _log) = collect_open(&path);
+        assert_eq!(seen.len(), 1);
+        assert_eq!(report.truncated_bytes, 0);
     }
 
     #[test]

@@ -1,0 +1,232 @@
+//! The segment manifest: the small file that makes a segmented database
+//! one logical unit.
+//!
+//! A [`DiskStore`](crate::kv::DiskStore) whose log has been rotated at
+//! least once keeps its sealed segments as sibling files of the base path
+//! (`<db>.000001.seg`, `<db>.000002.seg`, …). The manifest —
+//! `<db>.manifest` — records, in **replay order**, which segment files
+//! belong to the database, plus the monotonically increasing sequence
+//! counter used to name the next segment. The base path itself is always
+//! the *active* segment and is deliberately **not** listed: a database
+//! that has never rotated therefore has no manifest at all and remains a
+//! single plain log file, byte-compatible with the pre-segmented format.
+//!
+//! ## Crash safety
+//!
+//! The manifest is replaced atomically: the new content is written to
+//! `<db>.manifest.tmp`, fsynced, renamed over `<db>.manifest`, and the
+//! parent directory is fsynced so the rename itself survives power loss.
+//! Readers therefore always observe either the old or the new manifest,
+//! never a mix. The payload is framed with the same CRC record format as
+//! log records ([`crate::record`]), so a damaged manifest is detected
+//! rather than replayed.
+//!
+//! ## Replay-order invariant
+//!
+//! For any key, a record in a later manifest position supersedes every
+//! record in an earlier position. Rotation appends the just-sealed
+//! segment at the end; compaction replaces a *prefix* of the list with
+//! the segments it rewrote. Both preserve the invariant, which is what
+//! lets compaction drop delete tombstones entirely (see
+//! [`DiskStore::compact`](crate::kv::DiskStore::compact)).
+
+use crate::error::{Error, Result};
+use crate::record::{encode, read_record, ReadOutcome};
+use std::fs::{self, File, OpenOptions};
+use std::io::{Cursor, Write};
+use std::path::{Path, PathBuf};
+
+/// On-disk manifest format version.
+const VERSION: u8 = 1;
+
+/// The parsed contents of a `<db>.manifest` file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// Next value of the segment file-name sequence counter. Strictly
+    /// greater than the sequence number embedded in any file the database
+    /// has ever created, so names are never reused (a crash can leave
+    /// orphaned segment files behind; the sweep on open relies on their
+    /// names never colliding with live ones).
+    pub next_seq: u64,
+    /// File names (not paths — segments always live next to the base
+    /// file) of the sealed segments, in replay order.
+    pub sealed: Vec<String>,
+}
+
+/// Returns the manifest path for a database base path
+/// (`<db>.manifest`, appended — not substituted — so `db.rwlog` maps to
+/// `db.rwlog.manifest`).
+pub fn manifest_path(base: &Path) -> PathBuf {
+    sibling(base, "manifest")
+}
+
+/// Returns `<base>.<suffix>` by appending to the file name (unlike
+/// `Path::with_extension`, which would replace `.rwlog`).
+pub fn sibling(base: &Path, suffix: &str) -> PathBuf {
+    let mut name = base.file_name().unwrap_or_default().to_os_string();
+    name.push(".");
+    name.push(suffix);
+    base.with_file_name(name)
+}
+
+impl Manifest {
+    /// Loads the manifest at `path`, returning `None` if the file does not
+    /// exist (a single-file database) and an error if it exists but does
+    /// not parse — unlike a torn log tail, a damaged manifest is not a
+    /// normal crash artifact and must not be silently ignored.
+    pub fn load(path: &Path) -> Result<Option<Manifest>> {
+        let bytes = match fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let mut cur = Cursor::new(bytes);
+        let payload = match read_record(&mut cur, 0)? {
+            ReadOutcome::Record(p) => p,
+            ReadOutcome::Eof | ReadOutcome::Torn { .. } => {
+                return Err(Error::Corrupt {
+                    offset: 0,
+                    reason: format!("manifest {} is not a valid record", path.display()),
+                })
+            }
+        };
+        Manifest::decode(&payload)
+    }
+
+    /// Atomically replaces the manifest at `path` (temp file + rename +
+    /// parent-directory fsync).
+    pub fn store(&self, path: &Path) -> Result<()> {
+        let tmp = sibling(path, "tmp"); // "<db>.manifest.tmp"
+        {
+            let mut f = OpenOptions::new().write(true).create(true).truncate(true).open(&tmp)?;
+            f.write_all(&encode(&self.encode())?)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        fsync_parent_dir(path)?;
+        Ok(())
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(
+            1 + 8 + 4 + self.sealed.iter().map(|n| 4 + n.len()).sum::<usize>(),
+        );
+        buf.push(VERSION);
+        buf.extend_from_slice(&self.next_seq.to_le_bytes());
+        buf.extend_from_slice(&(self.sealed.len() as u32).to_le_bytes());
+        for name in &self.sealed {
+            buf.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            buf.extend_from_slice(name.as_bytes());
+        }
+        buf
+    }
+
+    fn decode(buf: &[u8]) -> Result<Option<Manifest>> {
+        let corrupt = |reason: &str| Error::Corrupt { offset: 0, reason: format!("manifest: {reason}") };
+        if buf.len() < 13 {
+            return Err(corrupt("payload too short"));
+        }
+        if buf[0] != VERSION {
+            return Err(corrupt(&format!("unknown version {}", buf[0])));
+        }
+        let next_seq = u64::from_le_bytes(buf[1..9].try_into().expect("8 bytes"));
+        let count = u32::from_le_bytes(buf[9..13].try_into().expect("4 bytes")) as usize;
+        let mut sealed = Vec::with_capacity(count.min(1 << 16));
+        let mut pos: usize = 13;
+        for _ in 0..count {
+            let len_end = pos.checked_add(4).ok_or_else(|| corrupt("name length overflow"))?;
+            let len = u32::from_le_bytes(
+                buf.get(pos..len_end).ok_or_else(|| corrupt("short name length"))?.try_into().expect("4 bytes"),
+            ) as usize;
+            let end = len_end.checked_add(len).ok_or_else(|| corrupt("name overflow"))?;
+            let name = buf.get(len_end..end).ok_or_else(|| corrupt("short name body"))?;
+            sealed.push(
+                String::from_utf8(name.to_vec()).map_err(|_| corrupt("non-utf8 segment name"))?,
+            );
+            pos = end;
+        }
+        if pos != buf.len() {
+            return Err(corrupt("trailing bytes"));
+        }
+        Ok(Some(Manifest { next_seq, sealed }))
+    }
+}
+
+/// The directory containing `path` (`.` for bare relative file names).
+pub(crate) fn parent_dir(path: &Path) -> PathBuf {
+    match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    }
+}
+
+/// fsyncs the directory containing `child`, making a just-completed
+/// create/rename/delete of `child` itself durable. Without this a power
+/// failure can undo a "completed" rename even though the file's *contents*
+/// were synced — the directory entry is its own piece of mutable state.
+pub fn fsync_parent_dir(child: &Path) -> Result<()> {
+    File::open(parent_dir(child))?.sync_all()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("reprowd-manifest-tests-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        let _ = fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn roundtrip() {
+        let path = tmp("m1.manifest");
+        let m = Manifest {
+            next_seq: 7,
+            sealed: vec!["db.000001.seg".into(), "db.000004.seg".into()],
+        };
+        m.store(&path).unwrap();
+        assert_eq!(Manifest::load(&path).unwrap(), Some(m));
+    }
+
+    #[test]
+    fn missing_is_none() {
+        assert_eq!(Manifest::load(&tmp("absent.manifest")).unwrap(), None);
+    }
+
+    #[test]
+    fn empty_sealed_list_roundtrips() {
+        let path = tmp("m2.manifest");
+        let m = Manifest { next_seq: 1, sealed: vec![] };
+        m.store(&path).unwrap();
+        assert_eq!(Manifest::load(&path).unwrap(), Some(m));
+    }
+
+    #[test]
+    fn store_replaces_atomically() {
+        let path = tmp("m3.manifest");
+        Manifest { next_seq: 1, sealed: vec!["a.seg".into()] }.store(&path).unwrap();
+        Manifest { next_seq: 2, sealed: vec!["b.seg".into()] }.store(&path).unwrap();
+        let m = Manifest::load(&path).unwrap().unwrap();
+        assert_eq!(m.sealed, vec!["b.seg".to_string()]);
+        // No temp file left behind.
+        assert!(!sibling(&path, "tmp").exists());
+    }
+
+    #[test]
+    fn corrupt_manifest_is_an_error_not_a_reset() {
+        let path = tmp("m4.manifest");
+        fs::write(&path, b"not a manifest").unwrap();
+        assert!(Manifest::load(&path).is_err());
+    }
+
+    #[test]
+    fn sibling_appends_not_replaces() {
+        let p = PathBuf::from("/x/db.rwlog");
+        assert_eq!(manifest_path(&p), PathBuf::from("/x/db.rwlog.manifest"));
+    }
+}

@@ -59,7 +59,7 @@ impl Backend for MemoryStore {
     }
 
     fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        Ok(scan_map_prefix(&self.inner.lock().map, prefix))
+        Ok(scan_map_prefix(&self.inner.lock().map, prefix, Vec::clone))
     }
 
     fn apply_batch(&self, batch: Batch) -> Result<()> {
@@ -91,6 +91,7 @@ impl Backend for MemoryStore {
         StoreStats {
             live_keys: inner.map.len(),
             log_bytes: 0,
+            segments: 0,
             writes: inner.writes,
             garbage_ratio: 0.0,
         }

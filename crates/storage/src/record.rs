@@ -54,7 +54,12 @@ pub enum ReadOutcome {
     Eof,
     /// The stream ends in a torn or corrupt record starting at this offset;
     /// the log should be truncated to `offset`.
-    Torn { offset: u64, reason: String },
+    Torn {
+        /// Byte offset the offending record starts at.
+        offset: u64,
+        /// Human-readable description of the framing violation.
+        reason: String,
+    },
 }
 
 /// Reads a single record starting at `offset` (used for error reporting).

@@ -1,0 +1,184 @@
+//! Segment naming, rotation policy, and per-segment bookkeeping for the
+//! segmented log engine behind [`DiskStore`](crate::kv::DiskStore).
+//!
+//! A database is a sequence of *segments*, each an append-only file of
+//! CRC-framed records ([`crate::log::LogFile`]):
+//!
+//! ```text
+//!  db.rwlog.000001.seg   sealed   ┐  replay order fixed by
+//!  db.rwlog.000003.seg   sealed   ┤  db.rwlog.manifest
+//!  db.rwlog              ACTIVE   ┘  (always last, never listed)
+//! ```
+//!
+//! Writes append to the active segment only. When it reaches
+//! [`SegmentPolicy::max_segment_bytes`] it is *sealed*: renamed to the
+//! next numbered `.seg` file, appended to the manifest, and a fresh empty
+//! active segment takes its place. Sealed segments are immutable, which is
+//! what lets compaction rewrite them without blocking readers or writers.
+
+use crate::error::{Error, Result};
+
+/// When the active segment is rotated and when sealed segments are
+/// compacted. The segmented-engine analogue of
+/// `ExecutionConfig::batch_size`: a pure performance knob that never
+/// changes visible contents.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentPolicy {
+    /// The active segment is sealed once it holds at least this many
+    /// bytes. Smaller segments bound the blast radius of a torn tail and
+    /// make compaction increments finer; larger segments mean fewer files
+    /// and fewer manifest swaps. A database that never reaches the limit
+    /// stays a single plain log file.
+    pub max_segment_bytes: u64,
+    /// Once a rotation leaves the sealed segments with *more than* this
+    /// fraction of dead (superseded or deleted) records, a compaction is
+    /// triggered automatically on the writing thread. In `[0, 1]`; `1.0`
+    /// disables auto-compaction (explicit
+    /// [`DiskStore::compact`](crate::kv::DiskStore::compact) still works).
+    pub compact_garbage_ratio: f64,
+}
+
+/// Defaults: 64 MiB segments, auto-compact at 60% garbage. Small
+/// experiment databases never rotate and therefore remain single files.
+impl Default for SegmentPolicy {
+    fn default() -> Self {
+        SegmentPolicy { max_segment_bytes: 64 << 20, compact_garbage_ratio: 0.6 }
+    }
+}
+
+impl SegmentPolicy {
+    /// A policy with the given segment size and garbage threshold.
+    pub fn new(max_segment_bytes: u64, compact_garbage_ratio: f64) -> Self {
+        SegmentPolicy { max_segment_bytes, compact_garbage_ratio }
+    }
+
+    /// Rejects structurally impossible policies: a zero segment size
+    /// (every write would rotate) or a garbage threshold outside `[0, 1]`.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_segment_bytes == 0 {
+            return Err(Error::InvalidArgument(
+                "SegmentPolicy::max_segment_bytes must be at least 1".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.compact_garbage_ratio) {
+            return Err(Error::InvalidArgument(format!(
+                "SegmentPolicy::compact_garbage_ratio must be in [0, 1], got {}",
+                self.compact_garbage_ratio
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Record-count bookkeeping for one segment. Garbage is measured in
+/// *operations*, not bytes: an op whose key was later overwritten or
+/// deleted (or a delete tombstone, dead from birth) is garbage.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SegStats {
+    /// Operations the segment holds.
+    pub ops: u64,
+    /// Operations that are the current live value of their key.
+    pub live_ops: u64,
+}
+
+impl SegStats {
+    /// Fraction of this segment's ops that are dead, in [0, 1].
+    pub fn garbage_ratio(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            1.0 - self.live_ops as f64 / self.ops as f64
+        }
+    }
+}
+
+/// One sealed segment as tracked in memory: its session-local id (the tag
+/// on map entries), manifest file name, and on-disk size.
+#[derive(Debug, Clone)]
+pub(crate) struct SealedSegment {
+    /// Session-local id; map entries whose live value came from this
+    /// segment carry it. Not persisted — reopen re-tags during replay.
+    pub id: u64,
+    /// File name as listed in the manifest (sibling of the base path).
+    pub name: String,
+    /// Bytes of intact records on disk.
+    pub bytes: u64,
+}
+
+/// The manifest file name of a sealed segment: `<base>.<seq:06>.seg`.
+pub(crate) fn segment_file_name(base_name: &str, seq: u64) -> String {
+    format!("{base_name}.{seq:06}.seg")
+}
+
+/// True if `file_name` is a file that only this database could have
+/// created next to `base_name` and that is safe to delete when the
+/// manifest does not claim it: a numbered `.seg`, a pre-segmentation
+/// `<base>.compact` temp, or a `<base>.manifest.tmp` from an interrupted
+/// manifest swap. Deliberately strict, so user files like `db.rwlog.bak`
+/// are never touched.
+pub(crate) fn is_sweepable(base_name: &str, file_name: &str) -> bool {
+    if file_name == format!("{base_name}.compact") || file_name == format!("{base_name}.manifest.tmp")
+    {
+        return true;
+    }
+    let Some(rest) = file_name.strip_prefix(base_name) else {
+        return false;
+    };
+    let Some(middle) = rest.strip_prefix('.').and_then(|r| r.strip_suffix(".seg")) else {
+        return false;
+    };
+    !middle.is_empty() && middle.bytes().all(|b| b.is_ascii_digit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_valid() {
+        SegmentPolicy::default().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_policies_rejected() {
+        assert!(SegmentPolicy::new(0, 0.5).validate().is_err());
+        assert!(SegmentPolicy::new(1024, -0.1).validate().is_err());
+        assert!(SegmentPolicy::new(1024, 1.5).validate().is_err());
+        assert!(SegmentPolicy::new(1024, f64::NAN).validate().is_err());
+        assert!(SegmentPolicy::new(1, 0.0).validate().is_ok());
+        assert!(SegmentPolicy::new(1024, 1.0).validate().is_ok());
+    }
+
+    #[test]
+    fn garbage_ratio_math() {
+        assert_eq!(SegStats::default().garbage_ratio(), 0.0);
+        assert_eq!(SegStats { ops: 10, live_ops: 10 }.garbage_ratio(), 0.0);
+        assert!((SegStats { ops: 10, live_ops: 4 }.garbage_ratio() - 0.6).abs() < 1e-12);
+        assert_eq!(SegStats { ops: 10, live_ops: 0 }.garbage_ratio(), 1.0);
+    }
+
+    #[test]
+    fn file_names_are_zero_padded() {
+        assert_eq!(segment_file_name("db.rwlog", 3), "db.rwlog.000003.seg");
+        assert_eq!(segment_file_name("db.rwlog", 1_000_000), "db.rwlog.1000000.seg");
+    }
+
+    #[test]
+    fn sweep_is_strict() {
+        for yes in ["db.rwlog.000001.seg", "db.rwlog.42.seg", "db.rwlog.compact", "db.rwlog.manifest.tmp"] {
+            assert!(is_sweepable("db.rwlog", yes), "{yes}");
+        }
+        for no in [
+            "db.rwlog",
+            "db.rwlog.manifest",
+            "db.rwlog.seg",
+            "db.rwlog..seg",
+            "db.rwlog.abc.seg",
+            "db.rwlog.000001.seg.bak",
+            "db.rwlog2.000001.seg",
+            "other.rwlog.000001.seg",
+        ] {
+            assert!(!is_sweepable("db.rwlog", no), "{no}");
+        }
+    }
+}

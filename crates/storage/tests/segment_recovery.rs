@@ -1,0 +1,389 @@
+//! Crash-recovery and concurrency tests for the segmented log engine:
+//!
+//! 1. Truncating a multi-segment database at *every byte offset* of its
+//!    last (active) segment yields the state of some batch-aligned prefix
+//!    of the committed writes — never a torn batch, never lost sealed data.
+//! 2. `get`/`scan_prefix`/writes complete while a large compaction is in
+//!    flight (the rewrite holds no store lock).
+//! 3. A CRC-valid record whose payload does not decode is a torn tail,
+//!    not a bricked database.
+//! 4. A legacy single-file database opens as-is and is migrated to the
+//!    segmented layout by its first compaction.
+//! 5. Orphaned temp/segment files from crashed compactions are swept on
+//!    open; a rotation interrupted between manifest write and rename is
+//!    completed on open.
+
+use reprowd_storage::crc::crc32;
+use reprowd_storage::manifest::{manifest_path, Manifest};
+use reprowd_storage::record::{read_record, ReadOutcome, HEADER_LEN};
+use reprowd_storage::{Backend, Batch, DiskStore, SegmentPolicy, SyncPolicy};
+use std::collections::BTreeMap;
+use std::io::Cursor;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("reprowd-segrec-tests-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.join(name);
+    DiskStore::destroy(&p).unwrap();
+    p
+}
+
+fn dump(store: &DiskStore) -> BTreeMap<Vec<u8>, Vec<u8>> {
+    store.scan_prefix(&[]).unwrap().into_iter().collect()
+}
+
+/// Byte offsets at which each record of the file at `path` starts.
+fn record_offsets(path: &Path) -> Vec<u64> {
+    let bytes = std::fs::read(path).unwrap();
+    let mut cur = Cursor::new(bytes);
+    let mut offsets = Vec::new();
+    let mut offset = 0u64;
+    while let ReadOutcome::Record(p) = read_record(&mut cur, offset).unwrap() {
+        offsets.push(offset);
+        offset += (HEADER_LEN + p.len()) as u64;
+    }
+    offsets
+}
+
+#[test]
+fn truncation_sweep_of_last_segment_yields_a_batch_prefix() {
+    let path = tmp("sweep.rwlog");
+    let policy = SegmentPolicy::new(160, 1.0); // tiny segments, no auto-compaction
+    let mut prefix_states: Vec<BTreeMap<Vec<u8>, Vec<u8>>> = vec![BTreeMap::new()];
+    {
+        let store = DiskStore::open_with(&path, SyncPolicy::Never, policy).unwrap();
+        let mut model = BTreeMap::new();
+        for i in 0..14u32 {
+            let mut b = Batch::new();
+            for j in 0..2u32 {
+                let (k, v) = (format!("b{i:02}/k{j}"), format!("value-{i:02}-{j}"));
+                model.insert(k.clone().into_bytes(), v.clone().into_bytes());
+                b.set(k.into_bytes(), v.into_bytes());
+            }
+            store.apply_batch(b).unwrap();
+            prefix_states.push(model.clone());
+        }
+        assert!(store.stats().segments > 2, "workload must span several segments");
+        store.flush().unwrap();
+    }
+    let pristine = std::fs::read(&path).unwrap();
+    assert!(!pristine.is_empty(), "the active segment must hold records");
+
+    let mut matched_indices = Vec::new();
+    for cut in 0..=pristine.len() {
+        std::fs::write(&path, &pristine[..cut]).unwrap();
+        let store = DiskStore::open_with(&path, SyncPolicy::Never, policy).unwrap();
+        let state = dump(&store);
+        let idx = prefix_states.iter().position(|s| s == &state).unwrap_or_else(|| {
+            panic!("cut at {cut}/{} is not any batch-aligned prefix", pristine.len())
+        });
+        matched_indices.push(idx);
+    }
+    // Sealed segments are untouched by the sweep: even a fully truncated
+    // active segment keeps every batch that was sealed.
+    assert!(matched_indices[0] > 0, "sealed batches lost by truncating the active segment");
+    // More surviving bytes never means less surviving data, and the full
+    // file recovers the full state.
+    assert!(matched_indices.windows(2).all(|w| w[0] <= w[1]));
+    assert_eq!(*matched_indices.last().unwrap(), prefix_states.len() - 1);
+}
+
+#[test]
+fn reads_and_writes_complete_while_compaction_is_in_flight() {
+    let path = tmp("concurrent.rwlog");
+    let policy = SegmentPolicy::new(64 * 1024, 1.0);
+    let store =
+        Arc::new(DiskStore::open_with(&path, SyncPolicy::Never, policy).unwrap());
+    let value = vec![0xABu8; 128];
+    // Two rounds over the same keys: ~50% garbage, several MB to rewrite.
+    for _round in 0..2 {
+        for i in 0..20_000u32 {
+            store.set(format!("key/{i:06}").as_bytes(), &value).unwrap();
+        }
+    }
+    assert!(store.stats().segments > 10);
+
+    let compactor = {
+        let store = Arc::clone(&store);
+        std::thread::spawn(move || store.compact().unwrap())
+    };
+    let mut reads_during = 0u64;
+    let mut i = 0u32;
+    while !compactor.is_finished() {
+        let key = format!("key/{:06}", i % 20_000);
+        assert_eq!(store.get(key.as_bytes()).unwrap().as_deref(), Some(&value[..]));
+        assert!(!store.scan_prefix(format!("key/{:04}", i % 100).as_bytes()).unwrap().is_empty());
+        store.set(format!("live/{i:06}").as_bytes(), b"written-during-compaction").unwrap();
+        reads_during += 1;
+        i += 1;
+    }
+    let saved = compactor.join().unwrap();
+    assert!(saved > 0, "the 50%-garbage log must shrink");
+    assert!(
+        reads_during > 0,
+        "reads/writes must make progress while the rewrite runs"
+    );
+    // Nothing was lost: neither old keys nor keys written mid-compaction.
+    assert_eq!(store.scan_prefix(b"key/").unwrap().len(), 20_000);
+    assert_eq!(store.scan_prefix(b"live/").unwrap().len(), i as usize);
+    drop(store);
+    let store = DiskStore::open_with(&path, SyncPolicy::Never, policy).unwrap();
+    assert_eq!(store.scan_prefix(b"key/").unwrap().len(), 20_000);
+    assert_eq!(store.scan_prefix(b"live/").unwrap().len(), i as usize);
+}
+
+#[test]
+fn crc_valid_but_undecodable_record_is_a_torn_tail_not_a_bricked_db() {
+    let path = tmp("undecodable.rwlog");
+    {
+        let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+        store.set(b"k1", b"v1").unwrap();
+        store.set(b"k2", b"v2").unwrap();
+        store.set(b"k3", b"v3").unwrap();
+    }
+    // Corrupt the SECOND record's payload, then re-CRC it so the framing
+    // layer accepts it: only `Batch::decode` can notice the damage.
+    let offsets = record_offsets(&path);
+    assert_eq!(offsets.len(), 3);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let start = offsets[1] as usize;
+    let len = u32::from_le_bytes(bytes[start + 1..start + 5].try_into().unwrap()) as usize;
+    let payload = &mut bytes[start + HEADER_LEN..start + HEADER_LEN + len];
+    payload.fill(0xFF); // an op count of u32::MAX with no ops behind it
+    let crc = crc32(&bytes[start + HEADER_LEN..start + HEADER_LEN + len]);
+    bytes[start + 5..start + 9].copy_from_slice(&crc.to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+
+    // The open must succeed (not brick), keep k1, and report why the rest
+    // of the log was discarded.
+    let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+    assert_eq!(store.get(b"k1").unwrap().as_deref(), Some(&b"v1"[..]));
+    assert_eq!(store.get(b"k2").unwrap(), None);
+    assert_eq!(store.get(b"k3").unwrap(), None);
+    let report = store.recovery_report();
+    assert!(report.truncated_bytes > 0);
+    let reason = report.truncate_reason.as_deref().unwrap();
+    assert!(reason.contains("replay rejected"), "reason: {reason}");
+    // And the store is usable again.
+    store.set(b"k4", b"v4").unwrap();
+    drop(store);
+    let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+    assert_eq!(store.recovery_report().truncated_bytes, 0);
+    assert_eq!(store.get(b"k4").unwrap().as_deref(), Some(&b"v4"[..]));
+}
+
+#[test]
+fn corruption_in_a_sealed_segment_refuses_the_open() {
+    // Sealed segments are fsynced before the manifest references them, so
+    // damage there is bitrot mid-history, not a crash artifact. Silently
+    // truncating it and replaying later segments could resurrect deleted
+    // keys — the open must refuse instead.
+    let path = tmp("sealed-corrupt.rwlog");
+    let policy = SegmentPolicy::new(256, 1.0);
+    {
+        let store = DiskStore::open_with(&path, SyncPolicy::Never, policy).unwrap();
+        for i in 0..60u32 {
+            store.set(format!("k/{i:03}").as_bytes(), b"0123456789abcdef").unwrap();
+        }
+        assert!(store.stats().segments > 2);
+    }
+    // Flip a payload byte in the FIRST sealed segment.
+    let first_sealed = {
+        let store = DiskStore::open_with(&path, SyncPolicy::Never, policy).unwrap();
+        store.segment_files()[0].clone()
+    };
+    assert_ne!(first_sealed, path);
+    let mut bytes = std::fs::read(&first_sealed).unwrap();
+    bytes[HEADER_LEN + 2] ^= 0xFF;
+    std::fs::write(&first_sealed, &bytes).unwrap();
+
+    let err = match DiskStore::open_with(&path, SyncPolicy::Never, policy) {
+        Ok(_) => panic!("open over a damaged sealed segment must fail"),
+        Err(e) => e,
+    };
+    assert!(err.to_string().contains("damaged mid-history"), "{err}");
+    // The damaged file was not truncated behind the user's back.
+    assert_eq!(std::fs::read(&first_sealed).unwrap().len(), bytes.len());
+}
+
+#[test]
+fn legacy_single_file_database_opens_and_migrates_on_compaction() {
+    let path = tmp("legacy.rwlog");
+    // A pre-segmentation database: the default policy never rotates at
+    // this size, so this is byte-for-byte the old single-file format.
+    {
+        let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+        for round in 0..10 {
+            for i in 0..40u32 {
+                store
+                    .set(format!("key/{i:03}").as_bytes(), format!("round-{round}").as_bytes())
+                    .unwrap();
+            }
+        }
+        assert!(!manifest_path(&path).exists());
+    }
+    let legacy_bytes = std::fs::metadata(&path).unwrap().len();
+
+    // Opening with a segmented policy leaves the file alone...
+    let policy = SegmentPolicy::new(1024, 1.0);
+    let store = DiskStore::open_with(&path, SyncPolicy::Never, policy).unwrap();
+    assert_eq!(store.recovery_report().segments, 1);
+    assert_eq!(store.stats().live_keys, 40);
+    // ...and the first compaction migrates it: live data moves into
+    // sealed segments, the manifest appears, the old fat file is replaced
+    // by a fresh (empty) active segment.
+    let saved = store.compact().unwrap();
+    assert!(saved > 0);
+    assert!(manifest_path(&path).exists());
+    assert!(std::fs::metadata(&path).unwrap().len() < legacy_bytes);
+    assert!(store.stats().log_bytes < legacy_bytes);
+    for i in 0..40u32 {
+        assert_eq!(
+            store.get(format!("key/{i:03}").as_bytes()).unwrap().as_deref(),
+            Some(&b"round-9"[..])
+        );
+    }
+    drop(store);
+    // The migrated database reopens under any policy.
+    let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+    assert_eq!(store.stats().live_keys, 40);
+}
+
+#[test]
+fn orphaned_temp_and_segment_files_are_swept_on_open() {
+    let path = tmp("sweep-orphans.rwlog");
+    {
+        let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+        store.set(b"k", b"v").unwrap();
+    }
+    // Debris a crash could leave behind: a pre-segmentation compaction
+    // temp, an uncommitted segment, a manifest temp.
+    let name = path.file_name().unwrap().to_string_lossy().into_owned();
+    let dir = path.parent().unwrap();
+    let orphans = [
+        dir.join(format!("{name}.compact")),
+        dir.join(format!("{name}.000099.seg")),
+        dir.join(format!("{name}.manifest.tmp")),
+    ];
+    for o in &orphans {
+        std::fs::write(o, b"debris").unwrap();
+    }
+    // An unrelated user file must survive the sweep.
+    let keeper = dir.join(format!("{name}.bak"));
+    std::fs::write(&keeper, b"keep me").unwrap();
+
+    let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+    for o in &orphans {
+        assert!(!o.exists(), "orphan {} must be swept", o.display());
+    }
+    assert!(keeper.exists());
+    assert_eq!(store.get(b"k").unwrap().as_deref(), Some(&b"v"[..]));
+    std::fs::remove_file(keeper).unwrap();
+}
+
+#[test]
+fn interrupted_rotation_is_completed_on_open() {
+    let path = tmp("interrupted.rwlog");
+    {
+        let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+        store.set(b"sealed-key", b"sealed-value").unwrap();
+    }
+    // Simulate a crash between the rotation's manifest write and its
+    // rename: the manifest claims segment 000001 but the data still sits
+    // in the base file.
+    let name = path.file_name().unwrap().to_string_lossy().into_owned();
+    let seg_name = format!("{name}.000001.seg");
+    Manifest { next_seq: 2, sealed: vec![seg_name.clone()] }
+        .store(&manifest_path(&path))
+        .unwrap();
+    assert!(!path.parent().unwrap().join(&seg_name).exists());
+
+    let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+    // Open finished the rename and started a fresh active segment.
+    assert!(path.parent().unwrap().join(&seg_name).exists());
+    assert_eq!(store.get(b"sealed-key").unwrap().as_deref(), Some(&b"sealed-value"[..]));
+    assert_eq!(store.recovery_report().segments, 2);
+    store.set(b"after", b"recovery").unwrap();
+    drop(store);
+    let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+    assert_eq!(store.stats().live_keys, 2);
+}
+
+#[test]
+fn interrupted_rotation_with_torn_tail_recovers_leniently() {
+    // The file an open renames to complete an interrupted rotation was
+    // the ACTIVE file when the crash hit, so it may end in a torn write.
+    // It must get the active segment's truncate-the-tail treatment, not
+    // replay_sealed's hard "damaged mid-history" refusal.
+    let path = tmp("interrupted-torn.rwlog");
+    {
+        let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+        store.set(b"good", b"value").unwrap();
+    }
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[0xDB, 0x01]).unwrap(); // partial record header
+    }
+    let name = path.file_name().unwrap().to_string_lossy().into_owned();
+    let seg_name = format!("{name}.000001.seg");
+    Manifest { next_seq: 2, sealed: vec![seg_name.clone()] }
+        .store(&manifest_path(&path))
+        .unwrap();
+
+    let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+    assert_eq!(store.get(b"good").unwrap().as_deref(), Some(&b"value"[..]));
+    let report = store.recovery_report();
+    assert!(report.truncated_bytes > 0, "torn tail must be truncated, not fatal");
+    assert!(path.parent().unwrap().join(&seg_name).exists());
+    store.set(b"after", b"ok").unwrap();
+    drop(store);
+    let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+    assert_eq!(store.stats().live_keys, 2);
+}
+
+#[test]
+fn scan_prefix_is_bit_identical_across_layouts() {
+    // The same operation sequence through a legacy-style single file, a
+    // segmented store (with a mid-stream compaction and reopen), and the
+    // in-memory reference must scan identically.
+    let legacy_path = tmp("parity-legacy.rwlog");
+    let seg_path = tmp("parity-seg.rwlog");
+    let legacy = DiskStore::open(&legacy_path, SyncPolicy::Never).unwrap();
+    let memory = reprowd_storage::MemoryStore::new();
+    let policy = SegmentPolicy::new(512, 0.5);
+    let mut seg = DiskStore::open_with(&seg_path, SyncPolicy::Never, policy).unwrap();
+
+    let mut state = 0x9E3779B97F4A7C15u64;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for step in 0..600u32 {
+        let key = format!("k/{:02}", rng() % 40);
+        if rng() % 4 == 0 {
+            legacy.delete(key.as_bytes()).unwrap();
+            memory.delete(key.as_bytes()).unwrap();
+            seg.delete(key.as_bytes()).unwrap();
+        } else {
+            let value = format!("v-{step}-{}", rng() % 1000);
+            legacy.set(key.as_bytes(), value.as_bytes()).unwrap();
+            memory.set(key.as_bytes(), value.as_bytes()).unwrap();
+            seg.set(key.as_bytes(), value.as_bytes()).unwrap();
+        }
+        if step == 300 {
+            seg.compact().unwrap();
+            seg = DiskStore::open_with(&seg_path, SyncPolicy::Never, policy).unwrap();
+        }
+    }
+    for prefix in [&b""[..], b"k/", b"k/1", b"k/39", b"nope"] {
+        let want = memory.scan_prefix(prefix).unwrap();
+        assert_eq!(legacy.scan_prefix(prefix).unwrap(), want, "legacy, prefix {prefix:?}");
+        assert_eq!(seg.scan_prefix(prefix).unwrap(), want, "segmented, prefix {prefix:?}");
+    }
+}

@@ -65,5 +65,5 @@ pub mod prelude {
     pub use reprowd_core::val;
     pub use reprowd_operators::prelude::*;
     pub use reprowd_platform::CrowdPlatform;
-    pub use reprowd_storage::{Backend, DiskStore, MemoryStore, SyncPolicy};
+    pub use reprowd_storage::{Backend, DiskStore, MemoryStore, SegmentPolicy, SyncPolicy};
 }

@@ -16,7 +16,9 @@ fn tmp(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("reprowd-recovery-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let p = dir.join(name);
-    let _ = std::fs::remove_file(&p);
+    // A segmented database is a file *family* (base + manifest +
+    // segments); destroy clears them all so reruns start fresh.
+    DiskStore::destroy(&p).unwrap();
     p
 }
 
@@ -215,6 +217,104 @@ fn crash_between_publish_batches_repays_only_the_missing_batches() {
         .unwrap();
     assert_eq!(inner.api_calls(), calls, "post-recovery rerun must be free");
     assert_eq!(cd2.column("mv").unwrap(), cd.column("mv").unwrap());
+}
+
+/// The sharable guarantee survives the segmented storage layout: with the
+/// log forced to rotate every few hundred bytes (plus a compaction between
+/// the runs), a crash + reopen still reruns with zero platform calls and
+/// bit-identical answers.
+#[test]
+fn segmented_database_reruns_with_zero_platform_calls() {
+    let path = tmp("segmented.rwlog");
+    let platform = Arc::new(SimPlatform::quick(6, 0.9, 2025));
+    let config = || {
+        ExecutionConfig::with_batch_size(5)
+            .with_segment_policy(SegmentPolicy::new(512, 1.0))
+    };
+
+    let first_mv = {
+        let cc = reprowd::core::CrowdContext::on_disk_with(
+            Arc::clone(&platform) as Arc<dyn CrowdPlatform>,
+            &path,
+            SyncPolicy::Always,
+            config(),
+        )
+        .unwrap();
+        let cd = pipeline(&cc, 20);
+        // The tiny policy really sharded the database into many segments.
+        assert!(cc.backend().stats().segments > 2, "stats: {:?}", cc.backend().stats());
+        cd.column("mv").unwrap()
+        // "Crash".
+    };
+
+    // Compact between the crash and the rerun — recovery must read the
+    // rewritten segments, not the original log.
+    {
+        let store =
+            DiskStore::open_with(&path, SyncPolicy::Always, config().segment_policy).unwrap();
+        assert!(store.recovery_report().segments > 2);
+        store.compact().unwrap();
+    }
+
+    let calls_before_rerun = platform.api_calls();
+    let cc = reprowd::core::CrowdContext::on_disk_with(
+        Arc::clone(&platform) as Arc<dyn CrowdPlatform>,
+        &path,
+        SyncPolicy::Always,
+        config(),
+    )
+    .unwrap();
+    let cd = pipeline(&cc, 20);
+    assert_eq!(
+        platform.api_calls(),
+        calls_before_rerun,
+        "rerun over the compacted segmented database must be free"
+    );
+    assert_eq!(cd.run_stats().tasks_reused, 20);
+    assert_eq!(cd.run_stats().results_reused, 20);
+    assert_eq!(cd.column("mv").unwrap(), first_mv);
+}
+
+/// A database written by the pre-segmentation engine (one plain log file)
+/// keeps working: it opens as-is, reruns for free, and the first
+/// compaction migrates it to the segmented layout without losing a cell.
+#[test]
+fn legacy_single_file_database_still_shares_after_migration() {
+    let path = tmp("legacy-migrate.rwlog");
+    let platform = Arc::new(SimPlatform::quick(6, 0.9, 909));
+
+    // The default policy never rotates at this size: this file is
+    // byte-compatible with what the old engine wrote.
+    let first_mv = {
+        let cc = reprowd::core::CrowdContext::on_disk(
+            Arc::clone(&platform) as Arc<dyn CrowdPlatform>,
+            &path,
+            SyncPolicy::Always,
+        )
+        .unwrap();
+        pipeline(&cc, 10).column("mv").unwrap()
+    };
+
+    // Migrate: open with a tiny segment policy and compact.
+    {
+        let store =
+            DiskStore::open_with(&path, SyncPolicy::Always, SegmentPolicy::new(512, 1.0))
+                .unwrap();
+        store.compact().unwrap();
+        assert!(store.stats().segments > 1, "migration must have split the log");
+    }
+
+    let calls = platform.api_calls();
+    let cc = reprowd::core::CrowdContext::on_disk_with(
+        Arc::clone(&platform) as Arc<dyn CrowdPlatform>,
+        &path,
+        SyncPolicy::Always,
+        ExecutionConfig::default().with_segment_policy(SegmentPolicy::new(512, 1.0)),
+    )
+    .unwrap();
+    let cd = pipeline(&cc, 10);
+    assert_eq!(platform.api_calls(), calls, "migrated database must rerun for free");
+    assert_eq!(cd.column("mv").unwrap(), first_mv);
 }
 
 /// Recovery also survives many crash/reopen cycles with a growing dataset:

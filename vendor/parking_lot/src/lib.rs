@@ -29,6 +29,15 @@ impl<T: ?Sized> Mutex<T> {
         self.0.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Attempts to acquire the lock without blocking; `None` if it is held.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(|e| e.into_inner())
