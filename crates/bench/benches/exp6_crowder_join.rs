@@ -51,9 +51,9 @@ fn main() {
         let (p, r, f1) = pairwise_prf(&out.matched, &truth);
         rows.push(vec![
             format!("{threshold:.1}"),
-            out.candidates.len().to_string(),
+            out.n_candidates.to_string(),
             out.stats.tasks_published.to_string(),
-            format!("{:.2}%", 100.0 * out.candidates.len() as f64 / all_pairs as f64),
+            format!("{:.2}%", 100.0 * out.n_candidates as f64 / all_pairs as f64),
             format!("{p:.3}"),
             format!("{r:.3}"),
             format!("{f1:.3}"),

@@ -46,7 +46,7 @@ fn main() {
 
     let mut rows = vec![vec![
         "CrowdER (asks all candidates)".to_string(),
-        base.crowd_reviewed.len().to_string(),
+        base.n_crowd_reviewed.to_string(),
         "0".into(),
         "0".into(),
         "-".into(),

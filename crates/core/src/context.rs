@@ -11,6 +11,18 @@ use reprowd_storage::{Backend, DiskStore, MemoryStore, SyncPolicy};
 use std::path::Path;
 use std::sync::Arc;
 
+/// Rejects experiment names that cannot serve as cache-key namespaces.
+/// Shared by [`CrowdContext::crowddata`] and the streaming runner
+/// ([`crate::pipeline::run_stream`]).
+pub(crate) fn validate_experiment_name(name: &str) -> Result<()> {
+    if name.is_empty() || name.contains('/') {
+        return Err(Error::State(format!(
+            "experiment name {name:?} must be non-empty and must not contain '/'"
+        )));
+    }
+    Ok(())
+}
+
 /// The session object: platform + database + the experiment tables, plus
 /// the [`ExecutionContext`] that batches their traffic.
 ///
@@ -48,6 +60,20 @@ impl CrowdContext {
     pub fn with_batch_size(&self, batch_size: usize) -> Result<Self> {
         let mut cc = self.clone();
         cc.exec = self.exec.retuned(batch_size)?;
+        Ok(cc)
+    }
+
+    /// A copy of this context keeping `depth` batch round-trips in flight
+    /// (see [`ExecutionConfig::inflight_batches`]). Shares the platform,
+    /// database, and batch metrics with `self`; errors if `depth` is 0.
+    /// Depth is a pure wall-clock knob: results are bit-identical at
+    /// every setting.
+    pub fn with_inflight_batches(&self, depth: usize) -> Result<Self> {
+        let mut cc = self.clone();
+        cc.exec = self.exec.retuned_config(ExecutionConfig {
+            inflight_batches: depth,
+            ..self.exec.config().clone()
+        })?;
         Ok(cc)
     }
 
@@ -127,11 +153,7 @@ impl CrowdContext {
     /// researcher — the CrowdData resumes from it; the subsequent
     /// `data`/`publish`/`collect` calls will then reuse every cached cell.
     pub fn crowddata(&self, name: &str) -> Result<CrowdData> {
-        if name.is_empty() || name.contains('/') {
-            return Err(Error::State(format!(
-                "experiment name {name:?} must be non-empty and must not contain '/'"
-            )));
-        }
+        validate_experiment_name(name)?;
         let manifest = match self.store.manifests.get(name.as_bytes())? {
             Some(m) => m,
             None => {

@@ -22,7 +22,7 @@
 use crate::context::CrowdContext;
 use crate::error::{Error, Result};
 use crate::hash::{hash_value, hex};
-use crate::presenter::{Presenter, PresenterKind};
+use crate::presenter::Presenter;
 use crate::store::{ExperimentStore, Manifest, StoredResult, StoredTask};
 use crate::value::{canonical, Value};
 use reprowd_platform::types::{TaskId, TaskSpec};
@@ -35,7 +35,7 @@ use std::collections::{BTreeMap, HashMap};
 /// Enforces the bulk-endpoint contract ("all-or-nothing, results in
 /// request order"): a platform answering a bulk call with the wrong
 /// cardinality would otherwise silently leave tail rows unpersisted.
-fn check_bulk_len(op: &str, got: usize, requested: usize) -> Result<()> {
+pub(crate) fn check_bulk_len(op: &str, got: usize, requested: usize) -> Result<()> {
     if got != requested {
         return Err(Error::State(format!(
             "platform bulk contract violated: {op} returned {got} items for a \
@@ -77,6 +77,34 @@ pub struct RunStats {
     /// Tasks re-published because the platform lost them (fresh platform
     /// instance after a crash of the *platform*, not the client).
     pub tasks_republished: u64,
+}
+
+impl RunStats {
+    /// Folds another run's accounting into this one, field by field —
+    /// every counter, including ones added later. Multi-round operators
+    /// (e.g. categorize's escalation round) use this instead of
+    /// hand-summing fields, which silently dropped any counter the sum
+    /// didn't know about.
+    pub fn merge(&mut self, other: RunStats) {
+        let RunStats {
+            tasks_published,
+            tasks_reused,
+            results_collected,
+            results_reused,
+            tasks_republished,
+        } = other;
+        self.tasks_published += tasks_published;
+        self.tasks_reused += tasks_reused;
+        self.results_collected += results_collected;
+        self.results_reused += results_reused;
+        self.tasks_republished += tasks_republished;
+    }
+}
+
+impl std::ops::AddAssign for RunStats {
+    fn add_assign(&mut self, other: RunStats) {
+        self.merge(other);
+    }
 }
 
 /// The tabular experiment. See the module docs for the step/column mapping.
@@ -185,19 +213,28 @@ impl CrowdData {
     /// bulk platform round-trip
     /// ([`publish_tasks`](reprowd_platform::CrowdPlatform::publish_tasks))
     /// followed by one atomic database write, and is recorded in the
-    /// context's [`BatchMetrics`](crate::exec::BatchMetrics). Batch size
-    /// does not change what gets published — ids, payloads, and collected
-    /// answers are bit-identical for every batch size; size 1 reproduces
-    /// the historical per-row pipeline exactly, API-call counts included.
+    /// context's [`BatchMetrics`](crate::exec::BatchMetrics). Up to
+    /// [`inflight_batches`](crate::exec::ExecutionConfig::inflight_batches)
+    /// batch round-trips are kept in flight at once by the pipelined
+    /// engine ([`crate::pipeline`]); the platform still observes them
+    /// strictly in batch order and the database commits them strictly in
+    /// batch order. Neither knob changes what gets published — ids,
+    /// payloads, and collected answers are bit-identical for every batch
+    /// size and every in-flight depth; batch size 1 reproduces the
+    /// historical per-row pipeline exactly, API-call counts included.
     ///
-    /// Crash safety: each batch is persisted (all-or-nothing) before the
-    /// next one is published, so a crash mid-`publish` repays at most the
-    /// one batch in flight on rerun — cached batches replay from the
+    /// Crash safety: batches commit (all-or-nothing each) in order, so a
+    /// crash mid-`publish` leaves a clean batch prefix in the database and
+    /// repays at most the batches past the commit frontier — the
+    /// scheduler lets work run up to `2 × inflight_batches` batches ahead
+    /// of it (`inflight_batches` being worked plus as many awaiting their
+    /// ordered commit) — on rerun; cached batches replay from the
     /// database with zero platform traffic. (If the process dies between
     /// the platform accepting a batch and the local write, the rerun
-    /// publishes duplicate tasks for that batch — the same exposure the
-    /// original system has against PyBossa, now bounded by the batch
-    /// size; the stale tasks are simply never collected.)
+    /// publishes duplicate tasks for that window — the same exposure the
+    /// original system has against PyBossa, bounded by
+    /// `batch_size × 2·inflight_batches` rows; the stale tasks are simply
+    /// never collected.)
     pub fn publish(mut self, n_assignments: u32) -> Result<Self> {
         if !self.data_set {
             return Err(Error::State("publish before data: call data(...) first".into()));
@@ -248,65 +285,72 @@ impl CrowdData {
     }
 
     /// Bulk-publishes `work` — `(row index, cache key, redundancy)` — in
-    /// batches of the context's batch size: one platform round-trip plus
-    /// one atomic database write per batch (a crash repays at most the
-    /// batch in flight). Sets each row's task cell and returns the
-    /// published `(row index, task id)` pairs in input order. Shared by
-    /// `publish` and `collect`'s lost-task republish path, so both always
-    /// follow the same contract.
+    /// batches of the context's batch size, with up to
+    /// [`inflight_batches`](crate::exec::ExecutionConfig::inflight_batches)
+    /// batch round-trips in flight at once (see [`crate::pipeline`]): the
+    /// platform still observes the batches strictly in order (the issue
+    /// gate serializes their effects), and each batch's atomic database
+    /// write commits strictly in batch order, so results and the store
+    /// are bit-identical to sequential execution at every depth. Sets each
+    /// row's task cell and returns the published `(row index, task id)`
+    /// pairs in input order. Shared by `publish` and `collect`'s lost-task
+    /// republish path, so both always follow the same contract.
     fn bulk_publish(
         &mut self,
         presenter: &Presenter,
         pid: u64,
         work: &[(usize, String, u32)],
     ) -> Result<Vec<(usize, TaskId)>> {
-        let batch_size = self.ctx.exec().batch_size();
-        let mut published = Vec::with_capacity(work.len());
-        for chunk in work.chunks(batch_size) {
-            let specs: Vec<TaskSpec> = chunk
-                .iter()
-                .map(|&(i, _, n)| TaskSpec {
-                    payload: presenter.render(&self.rows[i].object),
-                    n_assignments: n,
-                })
-                .collect();
-            let tasks = self.ctx.platform().publish_tasks(pid, specs)?;
-            check_bulk_len("publish_tasks", tasks.len(), chunk.len())?;
-            self.ctx.exec().metrics().record_publish(chunk.len() as u64);
-            let stored: Vec<(String, StoredTask)> = chunk
-                .iter()
-                .zip(tasks)
-                .map(|(&(i, ref key, n), task)| {
-                    let cell = StoredTask {
-                        task,
-                        object: self.rows[i].object.clone(),
+        let rows = &self.rows;
+        let ctx = &self.ctx;
+        let mut cells: Vec<(usize, StoredTask)> = Vec::with_capacity(work.len());
+        crate::pipeline::run_chunked(
+            ctx.exec().inflight_batches(),
+            ctx.exec().batch_size(),
+            work,
+            |slot, chunk: &[(usize, String, u32)], gate| {
+                let specs: Vec<TaskSpec> = chunk
+                    .iter()
+                    .map(|&(i, _, n)| TaskSpec {
+                        payload: presenter.render(&rows[i].object),
                         n_assignments: n,
-                    };
-                    (key.clone(), cell)
-                })
-                .collect();
-            self.ctx.store().put_task_batch(&stored)?;
-            for (&(i, _, _), (_, cell)) in chunk.iter().zip(stored) {
-                published.push((i, cell.task.id));
-                self.rows[i].task = Some(cell);
-            }
+                    })
+                    .collect();
+                let tasks = ctx.platform().publish_tasks_pipelined(pid, specs, gate, slot)?;
+                check_bulk_len("publish_tasks", tasks.len(), chunk.len())?;
+                Ok(tasks)
+            },
+            |chunk, tasks| {
+                ctx.exec().metrics().record_publish(chunk.len() as u64);
+                let stored: Vec<(String, StoredTask)> = chunk
+                    .iter()
+                    .zip(tasks)
+                    .map(|(&(i, ref key, n), task)| {
+                        let cell = StoredTask {
+                            task,
+                            object: rows[i].object.clone(),
+                            n_assignments: n,
+                        };
+                        (key.clone(), cell)
+                    })
+                    .collect();
+                ctx.store().put_task_batch(&stored)?;
+                for (&(i, _, _), (_, cell)) in chunk.iter().zip(stored) {
+                    cells.push((i, cell));
+                }
+                Ok(())
+            },
+        )?;
+        let mut published = Vec::with_capacity(cells.len());
+        for (i, cell) in cells {
+            published.push((i, cell.task.id));
+            self.rows[i].task = Some(cell);
         }
         Ok(published)
     }
 
     fn ensure_project(&mut self, presenter: &Presenter) -> Result<u64> {
-        if let Some(pid) = self.manifest.project_id {
-            if self.ctx.platform().project(pid).is_ok() {
-                return Ok(pid);
-            }
-        }
-        let pid = self
-            .ctx
-            .platform()
-            .create_project(&format!("{}:{}", self.manifest.name, presenter.name))?;
-        self.manifest.project_id = Some(pid);
-        self.save_manifest()?;
-        Ok(pid)
+        crate::pipeline::ensure_project(&self.ctx, &mut self.manifest, presenter)
     }
 
     // ---------------------------------------------------------- step 4
@@ -362,21 +406,33 @@ impl CrowdData {
 
         // Status pass: one bulk probe per batch tells us which tasks the
         // platform still knows (a platform restart loses tasks — distinct
-        // from a client crash, whose state lives in our database).
+        // from a client crash, whose state lives in our database). Probes
+        // are read-only, so batches pipeline like every other phase.
         let mut pending: Vec<(usize, TaskId)> = Vec::new();
         let mut lost: Vec<(usize, String, u32)> = Vec::new();
-        let batch_size = self.ctx.exec().batch_size();
-        for chunk in candidates.chunks(batch_size) {
-            let ids: Vec<TaskId> = chunk.iter().map(|&(_, _, id, _)| id).collect();
-            let statuses = self.ctx.platform().are_complete(&ids)?;
-            check_bulk_len("are_complete", statuses.len(), chunk.len())?;
-            self.ctx.exec().metrics().record_probe(chunk.len() as u64);
-            for ((i, key, id, n), status) in chunk.iter().cloned().zip(statuses) {
-                match status {
-                    Some(_) => pending.push((i, id)),
-                    None => lost.push((i, key, n)),
-                }
-            }
+        {
+            let ctx = &self.ctx;
+            crate::pipeline::run_chunked(
+                ctx.exec().inflight_batches(),
+                ctx.exec().batch_size(),
+                &candidates,
+                |slot, chunk: &[(usize, String, TaskId, u32)], gate| {
+                    let ids: Vec<TaskId> = chunk.iter().map(|&(_, _, id, _)| id).collect();
+                    let statuses = ctx.platform().are_complete_pipelined(&ids, gate, slot)?;
+                    check_bulk_len("are_complete", statuses.len(), chunk.len())?;
+                    Ok(statuses)
+                },
+                |chunk, statuses| {
+                    ctx.exec().metrics().record_probe(chunk.len() as u64);
+                    for ((i, key, id, n), status) in chunk.iter().cloned().zip(statuses) {
+                        match status {
+                            Some(_) => pending.push((i, id)),
+                            None => lost.push((i, key, n)),
+                        }
+                    }
+                    Ok(())
+                },
+            )?;
         }
 
         // Batch-republish rows whose tasks the platform lost.
@@ -392,27 +448,48 @@ impl CrowdData {
         }
         let ids: Vec<TaskId> = pending.iter().map(|&(_, id)| id).collect();
         self.ctx.platform().run_until_complete(&ids)?;
-        for chunk in pending.chunks(batch_size) {
-            let chunk_ids: Vec<TaskId> = chunk.iter().map(|&(_, id)| id).collect();
-            let runs_per_task = self.ctx.platform().fetch_runs_bulk(&chunk_ids)?;
-            check_bulk_len("fetch_runs_bulk", runs_per_task.len(), chunk.len())?;
-            self.ctx.exec().metrics().record_fetch(chunk.len() as u64);
-            let stored: Vec<(String, StoredResult)> = chunk
-                .iter()
-                .zip(runs_per_task)
-                .map(|(&(i, _), runs)| {
-                    let key =
-                        ExperimentStore::row_key(&self.manifest.name, &fp, &self.rows[i].hash);
-                    (key, StoredResult { runs })
-                })
-                .collect();
-            // One atomic write per batch: a crash re-fetches at most this
-            // batch.
-            self.ctx.store().put_result_batch(&stored)?;
-            for (&(i, _), (_, cell)) in chunk.iter().zip(stored) {
-                self.rows[i].result = Some(cell);
-                self.stats.results_collected += 1;
-            }
+        // Fetch pass: read-only bulk fetches pipeline with up to `depth`
+        // batches in flight; each batch's atomic result write commits in
+        // batch order, so a crash still leaves a clean batch prefix and
+        // re-fetches at most the batches that were in flight.
+        let mut cells: Vec<(usize, StoredResult)> = Vec::with_capacity(pending.len());
+        {
+            let ctx = &self.ctx;
+            let rows = &self.rows;
+            let name = &self.manifest.name;
+            crate::pipeline::run_chunked(
+                ctx.exec().inflight_batches(),
+                ctx.exec().batch_size(),
+                &pending,
+                |slot, chunk: &[(usize, TaskId)], gate| {
+                    let chunk_ids: Vec<TaskId> = chunk.iter().map(|&(_, id)| id).collect();
+                    let runs_per_task =
+                        ctx.platform().fetch_runs_bulk_pipelined(&chunk_ids, gate, slot)?;
+                    check_bulk_len("fetch_runs_bulk", runs_per_task.len(), chunk.len())?;
+                    Ok(runs_per_task)
+                },
+                |chunk, runs_per_task| {
+                    ctx.exec().metrics().record_fetch(chunk.len() as u64);
+                    let stored: Vec<(String, StoredResult)> = chunk
+                        .iter()
+                        .zip(runs_per_task)
+                        .map(|(&(i, _), runs)| {
+                            let key = ExperimentStore::row_key(name, &fp, &rows[i].hash);
+                            (key, StoredResult { runs })
+                        })
+                        .collect();
+                    // One atomic write per batch, in batch order.
+                    ctx.store().put_result_batch(&stored)?;
+                    for (&(i, _), (_, cell)) in chunk.iter().zip(stored) {
+                        cells.push((i, cell));
+                    }
+                    Ok(())
+                },
+            )?;
+        }
+        for (i, cell) in cells {
+            self.rows[i].result = Some(cell);
+            self.stats.results_collected += 1;
         }
         Ok(self)
     }
@@ -425,30 +502,23 @@ impl CrowdData {
     pub fn answer_space(&self) -> Result<Vec<Value>> {
         let presenter =
             self.presenter.as_ref().ok_or_else(|| Error::State("no presenter set".into()))?;
-        Ok(match &presenter.kind {
-            PresenterKind::SingleChoice { labels } => {
-                labels.iter().map(|l| Value::String(l.clone())).collect()
-            }
-            PresenterKind::MatchPair => vec![Value::Bool(false), Value::Bool(true)],
-            PresenterKind::PairCompare => {
-                vec![Value::String("first".into()), Value::String("second".into())]
-            }
-            PresenterKind::FreeText => {
-                let mut distinct: Vec<Value> = Vec::new();
-                let mut seen = std::collections::BTreeSet::new();
-                for row in &self.rows {
-                    if let Some(res) = &row.result {
-                        for run in &res.runs {
-                            if seen.insert(canonical(&run.answer)) {
-                                distinct.push(run.answer.clone());
-                            }
-                        }
+        if let Some(space) = presenter.static_answer_space() {
+            return Ok(space);
+        }
+        // Free text: the space is whatever the crowd answered.
+        let mut distinct: Vec<Value> = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for row in &self.rows {
+            if let Some(res) = &row.result {
+                for run in &res.runs {
+                    if seen.insert(canonical(&run.answer)) {
+                        distinct.push(run.answer.clone());
                     }
                 }
-                distinct.sort_by_key(canonical);
-                distinct
             }
-        })
+        }
+        distinct.sort_by_key(canonical);
+        Ok(distinct)
     }
 
     /// Bridges the `result` column into a [`VoteMatrix`] over

@@ -29,6 +29,14 @@ use std::sync::Arc;
 /// most 100 rows of crowd work.
 pub const DEFAULT_BATCH_SIZE: usize = 100;
 
+/// Default number of batches in flight at once (see
+/// [`ExecutionConfig::inflight_batches`]).
+///
+/// Four overlapped round-trips recover most of the wire-latency loss on a
+/// remote platform (E15) while keeping the crash-exposure window — batches
+/// accepted by the platform but not yet committed locally — small.
+pub const DEFAULT_INFLIGHT_BATCHES: usize = 4;
+
 /// Tunable execution policy of a [`CrowdContext`](crate::CrowdContext).
 // `PartialEq` only: `segment_policy` carries an f64 threshold, and a
 // NaN-bearing (invalid, but constructible) policy must not pretend to
@@ -38,6 +46,15 @@ pub struct ExecutionConfig {
     /// Rows per platform round-trip in `publish`/`collect`. Must be ≥ 1;
     /// `1` reproduces the per-row pipeline bit-for-bit.
     pub batch_size: usize,
+    /// Batch round-trips kept in flight at once by the pipelined execution
+    /// engine (see [`crate::pipeline`]). Must be ≥ 1; `1` reproduces the
+    /// sequential one-batch-at-a-time engine bit-for-bit, and *every*
+    /// depth yields bit-identical columns, cache contents, and call counts
+    /// — the platform observes the same ordered call sequence regardless
+    /// (the [`IssueGate`](reprowd_platform::IssueGate) contract), so depth
+    /// is a pure wall-clock knob. It pays off on latency-bound platforms;
+    /// on the in-process simulators it is overhead-neutral.
+    pub inflight_batches: usize,
     /// Shard count for contexts that build their own simulated platform
     /// (e.g. [`CrowdContext::in_memory_sim_with`]); `None` means the
     /// platform default (one shard). Must be ≥ 1 when set. Ignored when
@@ -61,6 +78,7 @@ impl Default for ExecutionConfig {
     fn default() -> Self {
         ExecutionConfig {
             batch_size: DEFAULT_BATCH_SIZE,
+            inflight_batches: DEFAULT_INFLIGHT_BATCHES,
             sim_shards: None,
             segment_policy: SegmentPolicy::default(),
         }
@@ -71,6 +89,12 @@ impl ExecutionConfig {
     /// A config with the given batch size.
     pub fn with_batch_size(batch_size: usize) -> Self {
         ExecutionConfig { batch_size, ..ExecutionConfig::default() }
+    }
+
+    /// Sets the number of batches kept in flight (builder style).
+    pub fn with_inflight_batches(mut self, depth: usize) -> Self {
+        self.inflight_batches = depth;
+        self
     }
 
     /// Sets the simulated platform's shard count (builder style).
@@ -90,6 +114,9 @@ impl ExecutionConfig {
     pub fn validate(&self) -> Result<()> {
         if self.batch_size == 0 {
             return Err(Error::State("batch_size must be at least 1".into()));
+        }
+        if self.inflight_batches == 0 {
+            return Err(Error::State("inflight_batches must be at least 1".into()));
         }
         if self.sim_shards == Some(0) {
             return Err(Error::State("sim_shards must be at least 1 when set".into()));
@@ -240,7 +267,12 @@ impl ExecutionContext {
     /// A copy with a different batch size (every other policy knob is
     /// kept), sharing this context's metrics.
     pub fn retuned(&self, batch_size: usize) -> Result<Self> {
-        let config = ExecutionConfig { batch_size, ..self.config.clone() };
+        self.retuned_config(ExecutionConfig { batch_size, ..self.config.clone() })
+    }
+
+    /// A copy with an arbitrary re-tuned config, sharing this context's
+    /// metrics (one ledger per context lineage).
+    pub fn retuned_config(&self, config: ExecutionConfig) -> Result<Self> {
         config.validate()?;
         Ok(ExecutionContext { config, metrics: Arc::clone(&self.metrics) })
     }
@@ -248,6 +280,11 @@ impl ExecutionContext {
     /// Rows per platform round-trip.
     pub fn batch_size(&self) -> usize {
         self.config.batch_size
+    }
+
+    /// Batch round-trips kept in flight at once.
+    pub fn inflight_batches(&self) -> usize {
+        self.config.inflight_batches
     }
 
     /// The active config.
@@ -270,6 +307,24 @@ mod tests {
         assert!(ExecutionContext::new(ExecutionConfig::with_batch_size(0)).is_err());
         assert!(ExecutionContext::default().retuned(0).is_err());
         assert!(ExecutionConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn zero_inflight_batches_rejected_and_retuning_preserves_depth() {
+        assert!(ExecutionConfig::default().with_inflight_batches(0).validate().is_err());
+        assert_eq!(ExecutionConfig::default().inflight_batches, DEFAULT_INFLIGHT_BATCHES);
+        let ec = ExecutionContext::new(
+            ExecutionConfig::with_batch_size(7).with_inflight_batches(2),
+        )
+        .unwrap();
+        assert_eq!(ec.inflight_batches(), 2);
+        // Re-tuning the batch size keeps the depth (and vice versa).
+        assert_eq!(ec.retuned(3).unwrap().inflight_batches(), 2);
+        let deeper = ec
+            .retuned_config(ExecutionConfig { inflight_batches: 8, ..ec.config().clone() })
+            .unwrap();
+        assert_eq!(deeper.batch_size(), 7);
+        assert_eq!(deeper.inflight_batches(), 8);
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod error;
 pub mod exec;
 pub mod hash;
 pub mod lineage;
+pub mod pipeline;
 pub mod presenter;
 pub mod store;
 pub mod turkit;
@@ -59,6 +60,7 @@ pub use crowddata::CrowdData;
 pub use error::{Error, Result};
 pub use exec::{BatchMetrics, BatchMetricsSnapshot, ExecutionConfig, ExecutionContext};
 pub use lineage::{CellLineage, Derivation};
+pub use pipeline::{majority_answer, run_stream, StreamReport, StreamSpec, StreamedRow};
 pub use presenter::Presenter;
 pub use turkit::CrashAndRerun;
 pub use value::Value;

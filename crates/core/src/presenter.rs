@@ -100,6 +100,25 @@ impl Presenter {
         }
     }
 
+    /// The fixed answer space of this presenter, in canonical (tie-break)
+    /// order — `None` for free text, whose space is only known from the
+    /// collected answers. Streaming operators aggregate against this with
+    /// [`majority_answer`](crate::pipeline::majority_answer); the classic
+    /// [`CrowdData::answer_space`](crate::CrowdData::answer_space) is
+    /// built on the same definition, so both paths break ties identically.
+    pub fn static_answer_space(&self) -> Option<Vec<Value>> {
+        match &self.kind {
+            PresenterKind::SingleChoice { labels } => {
+                Some(labels.iter().map(|l| Value::String(l.clone())).collect())
+            }
+            PresenterKind::MatchPair => Some(vec![Value::Bool(false), Value::Bool(true)]),
+            PresenterKind::PairCompare => {
+                Some(vec![Value::String("first".into()), Value::String("second".into())])
+            }
+            PresenterKind::FreeText => None,
+        }
+    }
+
     /// Stable fingerprint of the full template; part of every cache key.
     pub fn fingerprint(&self) -> String {
         let encoded = serde_json::to_string(self).expect("presenter serializes");

@@ -97,11 +97,9 @@ pub fn crowd_categorize(
             winners[item] = w2[slot].clone();
             confidence[item] = c2[slot];
         }
-        let s2 = cd2.run_stats();
-        stats.tasks_published += s2.tasks_published;
-        stats.tasks_reused += s2.tasks_reused;
-        stats.results_collected += s2.results_collected;
-        stats.results_reused += s2.results_reused;
+        // Field-exhaustive merge: hand-summing here used to silently drop
+        // counters added later (tasks_republished never made it in).
+        stats += cd2.run_stats();
     }
 
     Ok(CategorizeResult { categories: winners, confidence, escalated, stats })

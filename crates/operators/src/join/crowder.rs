@@ -7,14 +7,24 @@
 //! threshold buys recall with more crowd cost — the trade-off experiment E6
 //! sweeps. Pairs at or above `auto_accept` similarity can be accepted
 //! without human review (CrowdER's "machine-only" fringe).
+//!
+//! Candidates **stream**: the machine pass yields pairs lazily
+//! ([`self_join_stream`]) straight into the pipelined execution engine
+//! ([`run_stream`]), so candidate generation interleaves with task
+//! publishing and the peak pair memory is bounded by the in-flight window
+//! (batch size × twice the in-flight depth — the scheduler's claim
+//! backpressure — reported as [`CrowdErResult::peak_inflight_pairs`]) —
+//! never by the candidate count, which lets the join scale past 10⁴
+//! records without an `O(n²)` resident pair vector.
 
 use crate::cluster::clusters_from_pairs;
-use crate::join::pair_object;
+use crate::join::{pair_from_object, pair_object};
 use reprowd_core::context::CrowdContext;
 use reprowd_core::error::Result;
+use reprowd_core::pipeline::{majority_answer, run_stream, StreamSpec};
 use reprowd_core::presenter::Presenter;
 use reprowd_core::value::Value;
-use reprowd_simjoin::{self_join, JoinConfig, SetSimilarity, SimPair};
+use reprowd_simjoin::{self_join_stream, JoinConfig, SetSimilarity};
 
 /// Configuration of a CrowdER run.
 #[derive(Debug, Clone)]
@@ -48,65 +58,90 @@ impl CrowdErConfig {
 /// Output of [`crowder_join`].
 #[derive(Debug, Clone)]
 pub struct CrowdErResult {
-    /// Candidate pairs that survived the machine pass (with similarity).
-    pub candidates: Vec<SimPair>,
+    /// Candidate pairs that survived the machine pass. Reported as a count
+    /// — candidates stream through the crowd pass and are never resident
+    /// as a whole, which is the operator's memory guarantee.
+    pub n_candidates: usize,
     /// Pairs auto-accepted by similarity alone.
     pub auto_accepted: Vec<(usize, usize)>,
-    /// Pairs the crowd reviewed.
-    pub crowd_reviewed: Vec<(usize, usize)>,
+    /// Number of pairs the crowd reviewed.
+    pub n_crowd_reviewed: usize,
     /// Final matched pairs (auto-accepted ∪ crowd-confirmed).
     pub matched: Vec<(usize, usize)>,
     /// Cluster label per record (connected components of `matched`).
     pub clusters: Vec<usize>,
     /// Cache-reuse statistics of the crowd phase.
     pub stats: reprowd_core::crowddata::RunStats,
+    /// High-water mark of crowd-pass pairs resident in the pipeline at
+    /// once — bounded by batch size × twice the in-flight depth (the
+    /// scheduler's backpressure window), regardless of how many
+    /// candidates the machine pass emits.
+    pub peak_inflight_pairs: usize,
 }
+
+/// The question CrowdER poses for every grey-zone pair.
+const MATCH_QUESTION: &str = "Do these two records refer to the same entity?";
 
 /// Runs CrowdER over `records`. The `decorate` hook is called for every
 /// constructed pair object (see the crate docs on the simulation seam).
+///
+/// Machine-pass candidates are generated lazily and streamed through the
+/// pipelined crowd pass: at no point is the full candidate set — let alone
+/// the `O(n²)` pair space — materialized.
 pub fn crowder_join(
     cc: &CrowdContext,
     records: &[String],
     cfg: &CrowdErConfig,
-    decorate: impl Fn(usize, usize, &mut Value),
+    decorate: impl Fn(usize, usize, &mut Value) + Sync,
 ) -> Result<CrowdErResult> {
-    // --- machine pass
-    let candidates =
-        self_join(records, &JoinConfig::new(cfg.measure, cfg.threshold));
+    let join_cfg = JoinConfig::new(cfg.measure, cfg.threshold);
+    let space = Presenter::match_pair(MATCH_QUESTION)
+        .static_answer_space()
+        .expect("match judgment has a fixed answer space");
 
-    let mut auto_accepted = Vec::new();
-    let mut to_review = Vec::new();
-    for pair in &candidates {
-        if pair.similarity >= cfg.auto_accept {
-            auto_accepted.push((pair.left, pair.right));
-        } else {
-            to_review.push((pair.left, pair.right));
-        }
-    }
-
-    // --- crowd pass
-    let mut crowd_confirmed = Vec::new();
-    let mut stats = reprowd_core::crowddata::RunStats::default();
-    if !to_review.is_empty() {
-        let objects: Vec<Value> = to_review
-            .iter()
-            .map(|&(i, j)| pair_object(i, j, &records[i], &records[j], &decorate))
-            .collect();
-        let cd = cc
-            .crowddata(&cfg.experiment)?
-            .data(objects)?
-            .presenter(Presenter::match_pair("Do these two records refer to the same entity?"))?
-            .publish(cfg.n_assignments)?
-            .collect()?
-            .majority_vote()?;
-        let mv = cd.column("mv")?;
-        for (&(i, j), verdict) in to_review.iter().zip(&mv) {
-            if verdict == &Value::Bool(true) {
-                crowd_confirmed.push((i, j));
+    // Machine pass (lazy) feeding the crowd pass (streamed): pairs at or
+    // above `auto_accept` are matched without review and never become
+    // crowd tasks; the grey zone flows on as pair objects.
+    let mut n_candidates = 0usize;
+    let mut auto_accepted: Vec<(usize, usize)> = Vec::new();
+    let mut crowd_confirmed: Vec<(usize, usize)> = Vec::new();
+    let mut n_crowd_reviewed = 0usize;
+    let report = {
+        let auto_accepted = &mut auto_accepted;
+        let n_candidates = &mut n_candidates;
+        let decorate = &decorate;
+        let grey_zone = self_join_stream(records, &join_cfg).filter_map(move |pair| {
+            *n_candidates += 1;
+            if pair.similarity >= cfg.auto_accept {
+                auto_accepted.push((pair.left, pair.right));
+                None
+            } else {
+                Some(pair_object(
+                    pair.left,
+                    pair.right,
+                    &records[pair.left],
+                    &records[pair.right],
+                    decorate,
+                ))
             }
-        }
-        stats = cd.run_stats();
-    }
+        });
+        run_stream(
+            cc,
+            &StreamSpec {
+                experiment: cfg.experiment.clone(),
+                presenter: Presenter::match_pair(MATCH_QUESTION),
+                n_assignments: cfg.n_assignments,
+            },
+            grey_zone,
+            |row| {
+                n_crowd_reviewed += 1;
+                if majority_answer(&row.result.runs, &space) == Value::Bool(true) {
+                    crowd_confirmed.push(pair_from_object(&row.object)?);
+                }
+                Ok(())
+            },
+        )?
+    };
 
     let mut matched = auto_accepted.clone();
     matched.extend_from_slice(&crowd_confirmed);
@@ -115,12 +150,13 @@ pub fn crowder_join(
     let clusters = clusters_from_pairs(records.len(), &matched);
 
     Ok(CrowdErResult {
-        candidates,
+        n_candidates,
         auto_accepted,
-        crowd_reviewed: to_review,
+        n_crowd_reviewed,
         matched,
         clusters,
-        stats,
+        stats: report.stats,
+        peak_inflight_pairs: report.peak_inflight_rows,
     })
 }
 
@@ -182,7 +218,7 @@ mod tests {
             let mut cfg = CrowdErConfig::new(&format!("er-{idx}"));
             cfg.threshold = threshold;
             let out = crowder_join(&cc, &records, &cfg, oracle(entities.clone())).unwrap();
-            costs.push(out.crowd_reviewed.len());
+            costs.push(out.n_crowd_reviewed);
         }
         assert!(costs[0] >= costs[1] && costs[1] >= costs[2], "costs not monotone: {costs:?}");
     }
@@ -196,7 +232,7 @@ mod tests {
         cfg.auto_accept = 1.0;
         let out = crowder_join(&cc, &records, &cfg, no_sim).unwrap();
         assert_eq!(out.auto_accepted, vec![(0, 1)]);
-        assert!(out.crowd_reviewed.is_empty());
+        assert_eq!(out.n_crowd_reviewed, 0);
         assert_eq!(out.matched, vec![(0, 1)]);
         assert_eq!(out.stats.tasks_published, 0, "no crowd tasks at all");
     }

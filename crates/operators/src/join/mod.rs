@@ -3,7 +3,21 @@
 pub mod crowder;
 pub mod transitive;
 
+use reprowd_core::error::{Error, Result};
 use reprowd_core::value::Value;
+
+/// Recovers the `(i, j)` indices a [`pair_object`] was built from — how
+/// streaming operators map a collected row back to its pair without
+/// keeping a side table of in-flight pairs.
+pub(crate) fn pair_from_object(object: &Value) -> Result<(usize, usize)> {
+    let at = |k: usize| {
+        object["pair"][k]
+            .as_u64()
+            .map(|v| v as usize)
+            .ok_or_else(|| Error::State("pair object lost its indices".into()))
+    };
+    Ok((at(0)?, at(1)?))
+}
 
 /// Builds the pair object sent to the crowd for records `i` and `j`,
 /// applying the caller's `decorate` hook (the simulation seam).

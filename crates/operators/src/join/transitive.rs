@@ -270,7 +270,7 @@ mod tests {
         // Same final clustering…
         assert_eq!(t.clusters, c.clusters);
         // …with strictly fewer crowd questions.
-        assert!(t.asked.len() < c.crowd_reviewed.len());
+        assert!(t.asked.len() < c.n_crowd_reviewed);
     }
 
     #[test]

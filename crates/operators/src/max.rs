@@ -5,9 +5,10 @@
 //! tournament can eliminate the true best early — redundancy per match is
 //! the knob (experiment E11 compares cost/accuracy against full sort).
 
-use crate::join::pair_object;
+use crate::join::{pair_from_object, pair_object};
 use reprowd_core::context::CrowdContext;
 use reprowd_core::error::Result;
+use reprowd_core::pipeline::{majority_answer, run_stream, StreamSpec};
 use reprowd_core::presenter::Presenter;
 use reprowd_core::value::Value;
 
@@ -45,15 +46,22 @@ pub struct CrowdMaxResult {
 }
 
 /// Finds the crowd-judged best of `items` by single elimination.
+///
+/// Each round's matches stream through the pipelined engine
+/// ([`run_stream`]); rounds themselves are inherently sequential (a match
+/// cannot be drawn before its contestants are known).
 pub fn crowd_max(
     cc: &CrowdContext,
     items: &[String],
     cfg: &CrowdMaxConfig,
-    decorate: impl Fn(usize, usize, &mut Value),
+    decorate: impl Fn(usize, usize, &mut Value) + Sync,
 ) -> Result<CrowdMaxResult> {
     if items.is_empty() {
         return Ok(CrowdMaxResult { max: None, comparisons: 0, rounds: vec![] });
     }
+    let space = Presenter::pair_compare(&cfg.question)
+        .static_answer_space()
+        .expect("pair comparison has a fixed answer space");
     let mut survivors: Vec<usize> = (0..items.len()).collect();
     let mut rounds = vec![survivors.clone()];
     let mut comparisons = 0usize;
@@ -65,29 +73,29 @@ pub fn crowd_max(
             survivors.chunks(2).filter(|c| c.len() == 2).map(|c| (c[0], c[1])).collect();
         let bye = if survivors.len() % 2 == 1 { survivors.last().copied() } else { None };
 
-        let objects: Vec<Value> = matches
-            .iter()
-            .map(|&(i, j)| pair_object(i, j, &items[i], &items[j], &decorate))
-            .collect();
-        let cd = cc
-            .crowddata(&format!("{}-round{}", cfg.experiment, round_no))?
-            .data(objects)?
-            .presenter(Presenter::pair_compare(&cfg.question))?
-            .publish(cfg.n_assignments)?
-            .collect()?
-            .majority_vote()?;
-        let mv = cd.column("mv")?;
-        comparisons += matches.len();
-
         let mut next = Vec::with_capacity(survivors.len() / 2 + 1);
-        for (&(i, j), verdict) in matches.iter().zip(&mv) {
-            match verdict {
-                Value::String(s) if s == "second" => next.push(j),
-                // "first" or unresolved: the earlier item advances
-                // (deterministic default).
-                _ => next.push(i),
-            }
-        }
+        run_stream(
+            cc,
+            &StreamSpec {
+                experiment: format!("{}-round{}", cfg.experiment, round_no),
+                presenter: Presenter::pair_compare(&cfg.question),
+                n_assignments: cfg.n_assignments,
+            },
+            matches
+                .iter()
+                .map(|&(i, j)| pair_object(i, j, &items[i], &items[j], &decorate)),
+            |row| {
+                let (i, j) = pair_from_object(&row.object)?;
+                match majority_answer(&row.result.runs, &space) {
+                    Value::String(s) if s == "second" => next.push(j),
+                    // "first" or unresolved: the earlier item advances
+                    // (deterministic default).
+                    _ => next.push(i),
+                }
+                Ok(())
+            },
+        )?;
+        comparisons += matches.len();
         if let Some(b) = bye {
             next.push(b);
         }

@@ -4,13 +4,20 @@
 //! workers "which is better?" for item pairs, then rank items by their
 //! number of pairwise wins (Copeland score). A comparison budget trades
 //! accuracy for cost — experiment E11's sweep.
+//!
+//! Pairs are *streamed* into the pipelined execution engine
+//! ([`run_stream`]): candidate generation interleaves with publishing, and
+//! the budgeted selection keeps an `O(budget)` heap instead of
+//! materializing and sorting all `n·(n-1)/2` pairs up front.
 
-use crate::join::pair_object;
+use crate::join::{pair_from_object, pair_object};
 use reprowd_core::context::CrowdContext;
 use reprowd_core::error::Result;
 use reprowd_core::hash::fnv1a;
+use reprowd_core::pipeline::{majority_answer, run_stream, StreamSpec};
 use reprowd_core::presenter::Presenter;
 use reprowd_core::value::Value;
+use std::collections::BinaryHeap;
 
 /// Configuration of a crowd sort.
 #[derive(Debug, Clone)]
@@ -54,59 +61,88 @@ pub struct CrowdSortResult {
     pub stats: reprowd_core::crowddata::RunStats,
 }
 
+/// The pairs a budgeted sort asks, selected without materializing the full
+/// pair space: a bounded max-heap keeps the `budget` pairs with the
+/// smallest seeded hashes (identical selection — including tie-breaks — to
+/// the historical sort-all-then-truncate, in `O(budget)` memory).
+fn budgeted_pairs(n: usize, budget: usize, seed: u64) -> Vec<(usize, usize)> {
+    let mut heap: BinaryHeap<(u64, usize, usize)> = BinaryHeap::with_capacity(budget + 1);
+    if budget == 0 {
+        return Vec::new();
+    }
+    for i in 0..n {
+        for j in i + 1..n {
+            let key = fnv1a(format!("{seed}/{i}/{j}").as_bytes());
+            heap.push((key, i, j));
+            if heap.len() > budget {
+                heap.pop();
+            }
+        }
+    }
+    let mut selected: Vec<(usize, usize)> =
+        heap.into_iter().map(|(_, i, j)| (i, j)).collect();
+    selected.sort_unstable();
+    selected
+}
+
 /// Sorts `items` (descriptive strings) by crowd preference.
+///
+/// Comparison pairs stream into the pipelined engine: generation,
+/// publishing, and collection overlap chunk by chunk, and nothing
+/// `O(n²)`-sized is resident beyond the returned `compared` list itself.
 pub fn crowd_sort(
     cc: &CrowdContext,
     items: &[String],
     cfg: &CrowdSortConfig,
-    decorate: impl Fn(usize, usize, &mut Value),
+    decorate: impl Fn(usize, usize, &mut Value) + Sync,
 ) -> Result<CrowdSortResult> {
     let n = items.len();
-    let mut pairs: Vec<(usize, usize)> = (0..n)
-        .flat_map(|i| (i + 1..n).map(move |j| (i, j)))
-        .collect();
-    if let Some(budget) = cfg.budget {
-        // Deterministic pseudo-random subset: order by seeded hash, take
-        // the first `budget`.
-        pairs.sort_by_key(|&(i, j)| fnv1a(format!("{}/{i}/{j}", cfg.seed).as_bytes()));
-        pairs.truncate(budget);
-        pairs.sort_unstable();
-    }
+    let all_pairs = n * n.saturating_sub(1) / 2;
+    let pairs: Box<dyn Iterator<Item = (usize, usize)> + Send> = match cfg.budget {
+        Some(budget) => Box::new(budgeted_pairs(n, budget.min(all_pairs), cfg.seed).into_iter()),
+        None => Box::new((0..n).flat_map(move |i| (i + 1..n).map(move |j| (i, j)))),
+    };
+    let n_pairs = cfg.budget.map_or(all_pairs, |b| b.min(all_pairs));
 
     let mut wins = vec![0.0f64; n];
+    let mut compared = Vec::with_capacity(n_pairs);
     let mut stats = reprowd_core::crowddata::RunStats::default();
-    if !pairs.is_empty() {
-        let objects: Vec<Value> = pairs
-            .iter()
-            .map(|&(i, j)| pair_object(i, j, &items[i], &items[j], &decorate))
-            .collect();
-        let cd = cc
-            .crowddata(&cfg.experiment)?
-            .data(objects)?
-            .presenter(Presenter::pair_compare(&cfg.question))?
-            .publish(cfg.n_assignments)?
-            .collect()?
-            .majority_vote()?;
-        let mv = cd.column("mv")?;
-        for (&(i, j), verdict) in pairs.iter().zip(&mv) {
-            match verdict {
-                Value::String(s) if s == "first" => wins[i] += 1.0,
-                Value::String(s) if s == "second" => wins[j] += 1.0,
-                // Unresolved comparison: half a win each.
-                _ => {
-                    wins[i] += 0.5;
-                    wins[j] += 0.5;
+    if n_pairs > 0 {
+        let space = Presenter::pair_compare(&cfg.question)
+            .static_answer_space()
+            .expect("pair comparison has a fixed answer space");
+        let candidates = pairs.map(|(i, j)| pair_object(i, j, &items[i], &items[j], &decorate));
+        let report = run_stream(
+            cc,
+            &StreamSpec {
+                experiment: cfg.experiment.clone(),
+                presenter: Presenter::pair_compare(&cfg.question),
+                n_assignments: cfg.n_assignments,
+            },
+            candidates,
+            |row| {
+                let (i, j) = pair_from_object(&row.object)?;
+                match majority_answer(&row.result.runs, &space) {
+                    Value::String(s) if s == "first" => wins[i] += 1.0,
+                    Value::String(s) if s == "second" => wins[j] += 1.0,
+                    // Unresolved comparison: half a win each.
+                    _ => {
+                        wins[i] += 0.5;
+                        wins[j] += 0.5;
+                    }
                 }
-            }
-        }
-        stats = cd.run_stats();
+                compared.push((i, j));
+                Ok(())
+            },
+        )?;
+        stats = report.stats;
     }
 
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
         wins[b].partial_cmp(&wins[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
     });
-    Ok(CrowdSortResult { order, wins, compared: pairs, stats })
+    Ok(CrowdSortResult { order, wins, compared, stats })
 }
 
 #[cfg(test)]

@@ -20,6 +20,10 @@ pub enum Error {
     /// Injected by [`FailingPlatform`](crate::failing::FailingPlatform) to
     /// emulate a crash mid-experiment.
     Injected(String),
+    /// A pipelined call was cancelled before issuing because an earlier
+    /// call in the same ordered stream failed (see
+    /// [`IssueGate`](crate::gate::IssueGate)). The platform never saw it.
+    Cancelled(String),
 }
 
 impl fmt::Display for Error {
@@ -30,6 +34,7 @@ impl fmt::Display for Error {
             Error::Starved(msg) => write!(f, "simulation starved: {msg}"),
             Error::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
             Error::Injected(msg) => write!(f, "injected fault: {msg}"),
+            Error::Cancelled(msg) => write!(f, "cancelled: {msg}"),
         }
     }
 }
@@ -47,5 +52,6 @@ mod tests {
         assert!(Error::Starved("x".into()).to_string().contains("starved"));
         assert!(Error::InvalidRequest("y".into()).to_string().contains("invalid"));
         assert!(Error::Injected("z".into()).to_string().contains("fault"));
+        assert!(Error::Cancelled("w".into()).to_string().contains("cancelled"));
     }
 }

@@ -16,6 +16,16 @@ use std::sync::Arc;
 /// Wraps a platform; API calls beyond `budget` fail with
 /// [`Error::Injected`]. `step` and reads of the clock never fail — the
 /// crash is the *client's* crash, not the crowd's.
+///
+/// The budget is one atomic counter, decremented with a single
+/// compare-and-swap per charged call, so concurrent in-flight batches (the
+/// pipelined execution engine keeps several outstanding at once) can
+/// neither double-spend a unit nor race past zero: with budget `b`,
+/// exactly `b` calls succeed no matter how many threads are charging.
+/// *Which* batch the crash lands on is pinned separately: the pipelined
+/// bulk variants charge inside their [`IssueGate`](crate::gate::IssueGate)
+/// turn (via the trait defaults), so the budget runs out at the same batch
+/// index at every in-flight depth.
 pub struct FailingPlatform<P> {
     inner: Arc<P>,
     budget: AtomicU64,
@@ -42,21 +52,14 @@ impl<P: CrowdPlatform> FailingPlatform<P> {
         &self.inner
     }
 
+    /// Atomically spends one budget unit: a lone `fetch_update` that
+    /// decrements only while positive, so exhaustion cannot be overshot
+    /// by concurrent chargers (no load-then-store window).
     fn charge(&self) -> Result<()> {
-        // Decrement-if-positive without underflow.
-        loop {
-            let cur = self.budget.load(Ordering::SeqCst);
-            if cur == 0 {
-                return Err(Error::Injected("API-call budget exhausted".into()));
-            }
-            if self
-                .budget
-                .compare_exchange(cur, cur - 1, Ordering::SeqCst, Ordering::SeqCst)
-                .is_ok()
-            {
-                return Ok(());
-            }
-        }
+        self.budget
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |cur| cur.checked_sub(1))
+            .map(|_| ())
+            .map_err(|_| Error::Injected("API-call budget exhausted".into()))
     }
 }
 
@@ -202,6 +205,92 @@ mod tests {
         assert!(p
             .publish_task(proj, TaskSpec { payload: serde_json::json!(1), n_assignments: 1 })
             .is_ok());
+    }
+
+    #[test]
+    fn concurrent_bulk_calls_never_overspend_the_budget() {
+        // 32 threads race 4 bulk publishes each against a budget of 9
+        // (after create): exactly 9 must succeed, the rest must all see
+        // the injected fault, and the counter must end exactly at zero.
+        use std::sync::atomic::AtomicUsize;
+        let inner = Arc::new(MockPlatform::echo());
+        let p = FailingPlatform::new(Arc::clone(&inner), 10);
+        let proj = p.create_project("x").unwrap(); // spends 1
+        let ok = AtomicUsize::new(0);
+        let failed = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..32 {
+                let p = &p;
+                let ok = &ok;
+                let failed = &failed;
+                scope.spawn(move || {
+                    for i in 0..4 {
+                        let spec = TaskSpec {
+                            payload: serde_json::json!([t, i]),
+                            n_assignments: 1,
+                        };
+                        match p.publish_tasks(proj, vec![spec]) {
+                            Ok(_) => ok.fetch_add(1, Ordering::SeqCst),
+                            Err(Error::Injected(_)) => failed.fetch_add(1, Ordering::SeqCst),
+                            Err(e) => panic!("unexpected error: {e}"),
+                        };
+                    }
+                });
+            }
+        });
+        assert_eq!(ok.load(Ordering::SeqCst), 9, "exactly the budget succeeds");
+        assert_eq!(failed.load(Ordering::SeqCst), 32 * 4 - 9);
+        assert_eq!(p.remaining(), 0, "no underflow, no leftover");
+        // Every accepted batch reached the real platform (create + 9).
+        assert_eq!(inner.api_calls(), 10);
+    }
+
+    #[test]
+    fn pipelined_charges_land_in_slot_order() {
+        // Budget for create + 3 batches, 6 batches in flight: the gate
+        // (via the trait's default pipelined publish) must make the budget
+        // run out at batch 3 — and cancel 4 and 5 before they charge — at
+        // every thread interleaving.
+        use crate::gate::IssueGate;
+        for _round in 0..8 {
+            let inner = Arc::new(MockPlatform::echo());
+            let p = FailingPlatform::new(Arc::clone(&inner), 4);
+            let proj = p.create_project("x").unwrap();
+            let gate = IssueGate::new();
+            let outcomes: Vec<Result<Vec<crate::types::Task>>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..6u64)
+                        .map(|slot| {
+                            let p = &p;
+                            let gate = &gate;
+                            scope.spawn(move || {
+                                let spec = TaskSpec {
+                                    payload: serde_json::json!(slot),
+                                    n_assignments: 1,
+                                };
+                                p.publish_tasks_pipelined(proj, vec![spec], gate, slot)
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                });
+            for (slot, out) in outcomes.iter().enumerate() {
+                match slot {
+                    0..=2 => assert!(out.is_ok(), "batch {slot} fits the budget"),
+                    3 => assert!(
+                        matches!(out, Err(Error::Injected(_))),
+                        "batch 3 must be the crash point, got {out:?}"
+                    ),
+                    _ => assert!(
+                        matches!(out, Err(Error::Cancelled(_))),
+                        "batch {slot} must be cancelled, got {out:?}"
+                    ),
+                }
+            }
+            // Cancelled batches never reached the platform or the budget.
+            assert_eq!(inner.api_calls(), 4, "create + exactly 3 accepted batches");
+            assert_eq!(p.remaining(), 0);
+        }
     }
 
     #[test]

@@ -23,6 +23,11 @@
 //! * [`mock`] — a scriptable platform for unit tests.
 //! * [`failing`] — a fault-injection wrapper that fails after a budget of
 //!   calls, used by the crash-recovery experiments (E4).
+//! * [`gate`] — the ordered-issue sequencer behind the pipelined execution
+//!   engine: overlapped round-trips, effects in deterministic slot order.
+//! * [`latency`] — a wire-latency wrapper ([`LatencyPlatform`]) restoring
+//!   the round-trip cost a real crowd backend has, so pipelining depth is
+//!   measurable (E15).
 //!
 //! The simulation is *fully deterministic* given a seed — which is stronger
 //! than a human crowd and deliberately so: it lets the reproducibility
@@ -33,6 +38,8 @@
 
 pub mod error;
 pub mod failing;
+pub mod gate;
+pub mod latency;
 pub mod mock;
 pub mod platform;
 pub mod sim;
@@ -40,6 +47,8 @@ pub mod types;
 
 pub use error::{Error, Result};
 pub use failing::FailingPlatform;
+pub use gate::{IssueGate, IssueTurn};
+pub use latency::LatencyPlatform;
 pub use mock::MockPlatform;
 pub use platform::CrowdPlatform;
 pub use sim::answer::AnswerModel;

@@ -20,6 +20,7 @@
 //!   bulk endpoints bill (status probes stay free, like `is_complete`).
 
 use crate::error::{Error, Result};
+use crate::gate::IssueGate;
 use crate::types::{Project, ProjectId, SimTime, Task, TaskId, TaskRun, TaskSpec};
 
 /// Counts how many of `tasks` are still open given an
@@ -42,6 +43,25 @@ pub(crate) fn still_open(tasks: &[TaskId], status: &[Option<bool>]) -> Result<us
 ///
 /// All methods take `&self`; implementations are internally synchronized so
 /// a `CrowdContext` can be shared across operator pipelines.
+///
+/// # Thread safety and the pipelined contract
+///
+/// The pipelined execution engine invokes the `*_pipelined` bulk variants
+/// from several threads at once, so implementations must tolerate
+/// concurrent bulk calls (every in-tree platform serializes internally; the
+/// sharded simulator takes its locks in a fixed global order — registry,
+/// then shards by ascending index — so mixed concurrent bulk publishes,
+/// fetches, and probes cannot deadlock). Determinism does **not** rest on
+/// implementations being order-insensitive: each pipelined variant's
+/// default wraps the call's *effect* in an [`IssueGate`] turn, so whatever
+/// a platform does — allocate ids, tick clocks, charge budgets — happens in
+/// the caller's slot order, and a pipelined run issues the platform the
+/// **exact call sequence a sequential run issues**, at every depth.
+/// Platforms whose calls are dominated by wire latency (see
+/// [`LatencyPlatform`](crate::latency::LatencyPlatform)) override the
+/// variants to keep only the effect inside the turn and wait out the wire
+/// time outside it — that is where overlapping depth turns into wall-clock
+/// speedup.
 pub trait CrowdPlatform: Send + Sync {
     /// Implementation name (for manifests/logs).
     fn name(&self) -> &str;
@@ -177,6 +197,79 @@ pub trait CrowdPlatform: Send + Sync {
                 "no further progress possible with {open} tasks still open"
             )));
         }
+        Ok(())
+    }
+
+    /// Pipelined bulk publish: [`publish_tasks`](CrowdPlatform::publish_tasks)
+    /// whose *effect* (id allocation, registration, accounting) is
+    /// serialized into `order`'s slot sequence, so several batches can be
+    /// on the wire at once while the platform still observes them in batch
+    /// order — the property the pipelined engine's bit-for-bit determinism
+    /// rests on.
+    ///
+    /// The default takes the turn around the entire call (correct for any
+    /// platform, no overlap). Latency-bound platforms override it to wait
+    /// out the wire time outside the turn. A failed call drops its turn,
+    /// which cancels every later slot — a pipelined failure leaves exactly
+    /// the platform state of a sequential run stopping at the same batch.
+    fn publish_tasks_pipelined(
+        &self,
+        project: ProjectId,
+        specs: Vec<TaskSpec>,
+        order: &IssueGate,
+        slot: u64,
+    ) -> Result<Vec<Task>> {
+        let turn = order.turn(slot)?;
+        let out = self.publish_tasks(project, specs)?;
+        turn.complete();
+        Ok(out)
+    }
+
+    /// Pipelined bulk fetch: [`fetch_runs_bulk`](CrowdPlatform::fetch_runs_bulk)
+    /// with its effect (API-call/budget accounting, snapshot) in slot
+    /// order. See [`publish_tasks_pipelined`](CrowdPlatform::publish_tasks_pipelined)
+    /// for the contract.
+    fn fetch_runs_bulk_pipelined(
+        &self,
+        tasks: &[TaskId],
+        order: &IssueGate,
+        slot: u64,
+    ) -> Result<Vec<Vec<TaskRun>>> {
+        let turn = order.turn(slot)?;
+        let out = self.fetch_runs_bulk(tasks)?;
+        turn.complete();
+        Ok(out)
+    }
+
+    /// Pipelined bulk status probe: [`are_complete`](CrowdPlatform::are_complete)
+    /// in slot order. Free like every status probe.
+    fn are_complete_pipelined(
+        &self,
+        tasks: &[TaskId],
+        order: &IssueGate,
+        slot: u64,
+    ) -> Result<Vec<Option<bool>>> {
+        let turn = order.turn(slot)?;
+        let out = self.are_complete(tasks)?;
+        turn.complete();
+        Ok(out)
+    }
+
+    /// Pipelined completion wait:
+    /// [`run_until_complete`](CrowdPlatform::run_until_complete) in slot
+    /// order. On a simulated platform the wait *drives* the crowd (a
+    /// mutation), so streaming execution orders it like any other effect;
+    /// on a remote platform it is a poll loop whose wire time an override
+    /// can serve outside the turn.
+    fn run_until_complete_pipelined(
+        &self,
+        tasks: &[TaskId],
+        order: &IssueGate,
+        slot: u64,
+    ) -> Result<()> {
+        let turn = order.turn(slot)?;
+        self.run_until_complete(tasks)?;
+        turn.complete();
         Ok(())
     }
 

@@ -1,13 +1,19 @@
 //! Similarity-join drivers: candidate generation + verification.
 //!
-//! [`self_join`] is what CrowdER's machine pass calls: it returns every pair
-//! of records whose similarity clears the threshold, with the exact score
-//! attached (the crowd pass later re-examines the grey zone). A brute-force
-//! oracle ([`brute_force_self_join`]) backs the tests and benchmarks.
+//! [`self_join`] returns every pair of records whose similarity clears the
+//! threshold, with the exact score attached, as one materialized vector.
+//! [`self_join_stream`] produces the same *set* of pairs lazily — record by
+//! record against an incrementally built prefix index — so CrowdER's crowd
+//! pass can interleave candidate generation with task publishing and never
+//! hold the full pair list in memory (the resident state is the prefix
+//! index, `O(n · prefix)`, not the `O(n²)`-in-the-worst-case pair set). A
+//! brute-force oracle ([`brute_force_self_join`]) backs the tests and
+//! benchmarks.
 
-use crate::prefix::{build_universe, candidates};
+use crate::prefix::{build_universe, candidates, prefix_len, OrderedRecord};
 use crate::similarity::SetSimilarity;
 use crate::tokenize::word_set;
+use std::collections::HashMap;
 
 /// A verified similar pair (indices into the input slice, `left < right`).
 #[derive(Debug, Clone, PartialEq)]
@@ -59,6 +65,87 @@ pub fn self_join_tokens(token_sets: &[Vec<String>], config: &JoinConfig) -> Vec<
     }
     sort_pairs(&mut out);
     out
+}
+
+/// A lazy self-join: yields exactly the pairs [`self_join`] returns, but
+/// one at a time, ordered by the *later* record's index (then the earlier
+/// one's) instead of by descending similarity — the order in which an
+/// incremental index discovers them. Construction tokenizes the corpus and
+/// builds the global token order (`O(n · tokens)`); iteration then probes
+/// and extends the prefix index record by record, so the only pair-related
+/// memory is the handful of verified pairs buffered for the current
+/// record.
+pub fn self_join_stream<'a>(records: &[String], config: &'a JoinConfig) -> SelfJoinStream<'a> {
+    let token_sets: Vec<Vec<String>> = records.iter().map(|r| word_set(r)).collect();
+    let ordered = build_universe(&token_sets).records;
+    SelfJoinStream {
+        ordered,
+        config,
+        index: HashMap::new(),
+        current: 0,
+        buffered: Vec::new(),
+    }
+}
+
+/// Iterator state of [`self_join_stream`].
+#[derive(Debug)]
+pub struct SelfJoinStream<'a> {
+    /// Records mapped into the global token order (by input index).
+    ordered: Vec<OrderedRecord>,
+    config: &'a JoinConfig,
+    /// token id -> earlier record ids whose prefix contains it.
+    index: HashMap<u32, Vec<usize>>,
+    /// Next record to probe against the index.
+    current: usize,
+    /// Verified pairs of the current record, reversed so `pop` yields
+    /// partners in ascending order.
+    buffered: Vec<SimPair>,
+}
+
+impl Iterator for SelfJoinStream<'_> {
+    type Item = SimPair;
+
+    fn next(&mut self) -> Option<SimPair> {
+        loop {
+            if let Some(pair) = self.buffered.pop() {
+                return Some(pair);
+            }
+            if self.current >= self.ordered.len() {
+                return None;
+            }
+            let rec = &self.ordered[self.current];
+            self.current += 1;
+            let p = prefix_len(self.config.measure, rec.tokens.len(), self.config.threshold);
+            // Probe: earlier records sharing a prefix token are candidates.
+            let mut partners: Vec<usize> = rec.tokens[..p]
+                .iter()
+                .filter_map(|tok| self.index.get(tok))
+                .flatten()
+                .copied()
+                .collect();
+            partners.sort_unstable();
+            partners.dedup();
+            // Verify with the exact measure; buffer in descending partner
+            // order so popping yields ascending.
+            for &other in partners.iter().rev() {
+                let sim = self
+                    .config
+                    .measure
+                    .compute(&self.ordered[other].tokens, &rec.tokens);
+                if sim >= self.config.threshold {
+                    self.buffered.push(SimPair {
+                        left: other.min(rec.id),
+                        right: other.max(rec.id),
+                        similarity: sim,
+                    });
+                }
+            }
+            // Extend the index with this record's prefix.
+            for &tok in &rec.tokens[..p] {
+                self.index.entry(tok).or_default().push(rec.id);
+            }
+        }
+    }
 }
 
 /// Join two collections: pairs `(i, j)` with `left[i] ~ right[j]`.
@@ -150,6 +237,42 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn stream_yields_exactly_the_materialized_pairs() {
+        let records = corpus();
+        for threshold in [0.2, 0.4, 0.6, 0.8, 1.0] {
+            for measure in [SetSimilarity::Jaccard, SetSimilarity::Dice] {
+                let cfg = JoinConfig::new(measure, threshold);
+                let mut streamed: Vec<SimPair> = self_join_stream(&records, &cfg).collect();
+                let mut materialized = self_join(&records, &cfg);
+                sort_pairs(&mut streamed);
+                sort_pairs(&mut materialized);
+                assert_eq!(streamed, materialized, "θ={threshold}, {measure:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_orders_by_later_record_and_handles_edge_corpora() {
+        let records = corpus();
+        let pairs: Vec<SimPair> =
+            self_join_stream(&records, &JoinConfig::new(SetSimilarity::Jaccard, 0.1)).collect();
+        // Discovery order: grouped by the later record, partners ascending.
+        assert!(pairs
+            .windows(2)
+            .all(|w| w[0].right < w[1].right
+                || (w[0].right == w[1].right && w[0].left < w[1].left)));
+        // A pair appears exactly once even when prefixes share many tokens.
+        let mut seen = std::collections::HashSet::new();
+        assert!(pairs.iter().all(|p| seen.insert((p.left, p.right))));
+        // Degenerate inputs.
+        let cfg = JoinConfig::new(SetSimilarity::Jaccard, 0.5);
+        assert_eq!(self_join_stream(&[], &cfg).count(), 0);
+        assert_eq!(self_join_stream(&["one".to_string()], &cfg).count(), 0);
+        let empties = vec!["".to_string(), "a b".to_string(), "".to_string()];
+        assert_eq!(self_join_stream(&empties, &cfg).count(), 0);
     }
 
     #[test]

@@ -35,5 +35,5 @@ pub mod prefix;
 pub mod similarity;
 pub mod tokenize;
 
-pub use join::{rs_join, self_join, JoinConfig, SimPair};
+pub use join::{rs_join, self_join, self_join_stream, JoinConfig, SelfJoinStream, SimPair};
 pub use similarity::SetSimilarity;

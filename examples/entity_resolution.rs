@@ -60,13 +60,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let all_pairs = records.len() * (records.len() - 1) / 2;
     println!(
         "machine pass: {} candidates of {} possible pairs ({:.1}% pruned)",
-        out.candidates.len(),
+        out.n_candidates,
         all_pairs,
-        100.0 * (1.0 - out.candidates.len() as f64 / all_pairs as f64)
+        100.0 * (1.0 - out.n_candidates as f64 / all_pairs as f64)
     );
     println!(
         "crowd pass: {} pairs reviewed ({} tasks published), {} matched",
-        out.crowd_reviewed.len(),
+        out.n_crowd_reviewed,
         out.stats.tasks_published,
         out.matched.len()
     );

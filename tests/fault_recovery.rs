@@ -219,6 +219,105 @@ fn crash_between_publish_batches_repays_only_the_missing_batches() {
     assert_eq!(cd2.column("mv").unwrap(), cd.column("mv").unwrap());
 }
 
+/// Crash with batches *in flight*: under a pipelined depth of 4, the
+/// budget runs out at a deterministic batch (the issue gate charges in
+/// batch order), the database keeps exactly the committed batch prefix,
+/// and the rerun repays only the uncommitted chunks — at every depth, the
+/// same chunks.
+#[test]
+fn crash_mid_pipeline_reruns_only_uncommitted_chunks() {
+    for depth in [1usize, 4, 8] {
+        let path = tmp(&format!("pipeline-crash-{depth}.rwlog"));
+        let inner = Arc::new(SimPlatform::quick(6, 0.9, 321));
+        // Budget 4 = create + three bulk publishes of 4 rows each; the
+        // fourth and fifth batches die in flight, whatever the depth.
+        let failing = Arc::new(FailingPlatform::new(Arc::clone(&inner), 4));
+        let config = || {
+            ExecutionConfig::with_batch_size(4).with_inflight_batches(depth)
+        };
+        {
+            let cc = reprowd::core::CrowdContext::with_config(
+                Arc::clone(&failing) as Arc<dyn CrowdPlatform>,
+                Arc::new(DiskStore::open(&path, SyncPolicy::Always).unwrap()),
+                config(),
+            )
+            .unwrap();
+            match cc
+                .crowddata("recovery")
+                .unwrap()
+                .data(objects(20))
+                .unwrap()
+                .presenter(Presenter::image_label("Is this a cat?", &["Yes", "No"]))
+                .unwrap()
+                .publish(3)
+            {
+                Err(e) => assert!(e.is_injected_fault(), "depth {depth}: {e}"),
+                Ok(_) => panic!("depth {depth}: publish must crash on the fourth batch"),
+            }
+            // Client dies with up to `depth` batches in flight.
+        }
+
+        failing.reset_budget(u64::MAX);
+        let cc = reprowd::core::CrowdContext::with_config(
+            Arc::clone(&failing) as Arc<dyn CrowdPlatform>,
+            Arc::new(DiskStore::open(&path, SyncPolicy::Always).unwrap()),
+            config(),
+        )
+        .unwrap();
+        let cd = pipeline(&cc, 20);
+        let s = cd.run_stats();
+        // Deterministic prefix: exactly the three batches the budget
+        // covered were committed, at every depth.
+        assert_eq!(s.tasks_reused, 12, "depth {depth}: committed prefix must be reused");
+        assert_eq!(s.tasks_published, 8, "depth {depth}: only uncommitted chunks repaid");
+        assert_eq!(s.results_collected, 20);
+        assert_eq!(cd.column("mv").unwrap().len(), 20);
+    }
+}
+
+/// A crash mid-*stream* behaves the same way: the streamed chunks commit
+/// in order, so a budget crash leaves a clean chunk prefix and the
+/// streamed rerun pays only the tail.
+#[test]
+fn crash_mid_stream_resumes_from_the_committed_prefix() {
+    use reprowd_core::pipeline::{run_stream, StreamSpec};
+    let inner = Arc::new(SimPlatform::quick(6, 0.9, 77));
+    // Budget 7 = create + three streamed chunks (publish + fetch each,
+    // the wait and the probes are free on the sim); chunk 4 of 5 dies.
+    let failing = Arc::new(FailingPlatform::new(Arc::clone(&inner), 7));
+    let db: Arc<dyn Backend> = Arc::new(MemoryStore::new());
+    let cc = reprowd::core::CrowdContext::with_config(
+        Arc::clone(&failing) as Arc<dyn CrowdPlatform>,
+        Arc::clone(&db),
+        ExecutionConfig::with_batch_size(4).with_inflight_batches(4),
+    )
+    .unwrap();
+    let spec = StreamSpec {
+        experiment: "stream-crash".into(),
+        presenter: Presenter::image_label("Is this a cat?", &["Yes", "No"]),
+        n_assignments: 3,
+    };
+    let mut delivered = 0u64;
+    let err = run_stream(&cc, &spec, objects(20).into_iter(), |_row| {
+        delivered += 1;
+        Ok(())
+    })
+    .unwrap_err();
+    assert!(err.is_injected_fault(), "unexpected: {err}");
+    assert_eq!(delivered, 12, "exactly the three committed chunks reached the sink");
+
+    failing.reset_budget(u64::MAX);
+    let mut rerun_rows = Vec::new();
+    let report = run_stream(&cc, &spec, objects(20).into_iter(), |row| {
+        rerun_rows.push(row.index);
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(rerun_rows, (0..20).collect::<Vec<_>>());
+    assert_eq!(report.stats.results_reused, 12, "committed chunks replay from the store");
+    assert_eq!(report.stats.tasks_published, 8, "only the crashed tail is repaid");
+}
+
 /// The sharable guarantee survives the segmented storage layout: with the
 /// log forced to rotate every few hundred bytes (plus a compaction between
 /// the runs), a crash + reopen still reruns with zero platform calls and

@@ -65,7 +65,7 @@ fn lower_threshold_buys_recall_with_more_crowd_cost() {
         cfg.threshold = threshold;
         let out = crowder_join(&cc, &texts, &cfg, match_oracle(clusters.clone(), 0.05)).unwrap();
         let (_, recall, _) = pairwise_prf(&out.matched, &corpus.true_pairs());
-        results.push((out.crowd_reviewed.len(), recall));
+        results.push((out.n_crowd_reviewed, recall));
     }
     // Cost decreases with threshold; recall does not increase.
     assert!(results[0].0 >= results[1].0 && results[1].0 >= results[2].0, "{results:?}");
@@ -86,10 +86,10 @@ fn transitive_join_saves_questions_and_matches_crowder_quality() {
     let c = crowder_join(&cc2, &texts, &ccfg, match_oracle(clusters, 0.05)).unwrap();
 
     assert!(
-        t.asked.len() < c.crowd_reviewed.len(),
+        t.asked.len() < c.n_crowd_reviewed,
         "transitivity saved nothing: {} vs {}",
         t.asked.len(),
-        c.crowd_reviewed.len()
+        c.n_crowd_reviewed
     );
     let (_, _, f1_t) = pairwise_prf(&t.matched, &corpus.true_pairs());
     let (_, _, f1_c) = pairwise_prf(&c.matched, &corpus.true_pairs());
